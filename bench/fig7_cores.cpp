@@ -1,0 +1,62 @@
+// Fig. 7 (paper §5.3): L3 cache misses for RRM and RRG as the number of
+// active cores per socket grows (4×1, 4×2, 4×4, 4×8, 4×8×2 HT), under
+// {WS, PWS, SB, SB-D}.
+//
+// Paper-reported shape: SB/SB-D miss counts are flat — cores share each L3
+// constructively regardless of how many there are — while WS/PWS misses
+// grow steadily with cores per socket (the cache is effectively split
+// among them), roughly doubling from 4×1 to 4×8×2.
+#include <cstdio>
+
+#include "harness/bench_cli.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace sbs;
+  harness::BenchOptions opts;
+  Cli cli("fig7_cores",
+          "Reproduce paper Fig. 7: L3 misses vs active cores per socket");
+  if (!harness::ParseBenchOptions(argc, argv, cli, &opts)) return 0;
+
+  const char* suffixes[] = {"_4x1", "_4x2", "_4x4", "", "_ht"};
+  const char* labels[] = {"4x1", "4x2", "4x4", "4x8", "4x8x2(HT)"};
+  const std::vector<std::string> schedulers = {"WS", "PWS", "SB", "SB-D"};
+
+  Table table("Fig. 7 — L3 misses (millions) vs cores per socket");
+  table.set_header(
+      {"cores", "scheduler", "RRM misses", "RRG misses"});
+
+  for (int m = 0; m < 5; ++m) {
+    std::vector<harness::CellResult> rrm, rrg;
+    for (const char* kernel : {"rrm", "rrg"}) {
+      harness::ExperimentSpec spec;
+      spec.kernel = kernel;
+      spec.machine = opts.machine_for(suffixes[m]);
+      spec.params.machine_scale =
+          harness::BenchOptions::ScaleOfPreset(spec.machine);
+      const std::size_t dflt =
+          kernel == std::string("rrm") ? 1'250'000 : 600'000;
+      spec.params.n = opts.problem_n(dflt, 10'000'000);
+      spec.params.base =
+          2048 / static_cast<std::size_t>(spec.params.machine_scale);
+      spec.schedulers = schedulers;
+      spec.repetitions = std::max(1, opts.repetitions() - 1);
+      spec.seed = static_cast<std::uint64_t>(opts.seed);
+      spec.sb.sigma = opts.sigma;
+      spec.sb.mu = opts.mu;
+      spec.verify = !opts.no_verify;
+      auto results = harness::RunExperiment(spec);
+      (kernel == std::string("rrm") ? rrm : rrg) = std::move(results);
+    }
+    for (std::size_t s = 0; s < schedulers.size(); ++s) {
+      table.add_row({labels[m], schedulers[s],
+                     fmt_millions(rrm[s].llc_misses, 2),
+                     fmt_millions(rrg[s].llc_misses, 2)});
+    }
+  }
+  table.print(opts.csv);
+  std::printf(
+      "Expected shape (paper): WS/PWS misses grow with cores per socket; "
+      "SB/SB-D stay flat.\n");
+  return 0;
+}

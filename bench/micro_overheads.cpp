@@ -1,0 +1,79 @@
+// Raw scheduler-callback overhead on real threads (google-benchmark).
+//
+// Complements the simulated figures: measures the wall-clock cost per
+// strand of each scheduler's add/get/done path by running a synthetic
+// fork-join tree on the real thread-pool engine. This is the engineering
+// quantity behind the paper's §3.3 overhead breakdown — work stealing's
+// two-lock deque should be several times cheaper per strand than the
+// space-bounded tree walk.
+#include <benchmark/benchmark.h>
+
+#include "machine/topology.h"
+#include "runtime/jobs.h"
+#include "runtime/thread_pool.h"
+#include "sched/registry.h"
+
+namespace {
+
+using namespace sbs;
+using runtime::Job;
+using runtime::Strand;
+using runtime::make_job;
+using runtime::make_nop;
+
+/// A binary fork tree of the given depth with trivial leaf work. The tree
+/// has 2^depth leaves and ~2^(depth+1) strands in total.
+Job* fork_tree(int depth) {
+  const std::uint64_t bytes = 64ull << depth;  // nominal footprint
+  if (depth == 0) {
+    return make_job([](Strand&) { benchmark::DoNotOptimize(0); }, 64);
+  }
+  return make_job(
+      [depth](Strand& strand) {
+        strand.fork2(fork_tree(depth - 1), fork_tree(depth - 1), make_nop());
+      },
+      bytes, 64);
+}
+
+void BM_SchedulerStrandCost(benchmark::State& state,
+                            const std::string& sched_name) {
+  const machine::Topology topo(machine::Preset("mini"));
+  runtime::ThreadPool pool(topo);
+  constexpr int kDepth = 10;  // 1K leaves, ~4K scheduler interactions
+  std::uint64_t strands = 0;
+  for (auto _ : state) {
+    auto sched = sched::MakeScheduler(sched_name);
+    const runtime::RunStats stats = pool.run(*sched, fork_tree(kDepth));
+    strands += stats.total_strands();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(strands));
+  state.counters["strands_per_run"] =
+      static_cast<double>(strands) / static_cast<double>(state.iterations());
+}
+
+void BM_ForkJoinThroughput(benchmark::State& state) {
+  // Single-thread baseline: pure framework cost (job alloc, join counters,
+  // settle) without scheduler contention.
+  const machine::Topology topo(machine::Preset("mini"));
+  runtime::ThreadPool pool(topo, 1);
+  for (auto _ : state) {
+    auto sched = sched::MakeScheduler("WS");
+    pool.run(*sched, fork_tree(10));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SchedulerStrandCost, WS, std::string("WS"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerStrandCost, PWS, std::string("PWS"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerStrandCost, CilkWS, std::string("CilkWS"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerStrandCost, SB, std::string("SB"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerStrandCost, SB_D, std::string("SB-D"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ForkJoinThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+#include "kernels/kernel.h"
+
+#include <cmath>
+
+#include "kernels/matmul.h"
+#include "kernels/quadtree.h"
+#include "kernels/quicksort.h"
+#include "kernels/rrg.h"
+#include "kernels/rrm.h"
+#include "kernels/samplesort.h"
+#include "runtime/mem.h"
+#include "util/assert.h"
+
+namespace sbs::kernels {
+
+void charge_work(double cycles_per_elem, std::uint64_t elems) {
+  mem::work(static_cast<std::uint64_t>(cycles_per_elem *
+                                       static_cast<double>(elems)));
+}
+
+std::unique_ptr<Kernel> MakeKernel(const std::string& name,
+                                   const KernelParams& params) {
+  if (name == "rrm") return std::make_unique<Rrm>(params);
+  if (name == "rrg") return std::make_unique<Rrg>(params);
+  if (name == "quicksort") return std::make_unique<Quicksort>(params);
+  if (name == "samplesort") return std::make_unique<SampleSort>(params);
+  if (name == "aware-samplesort")
+    return std::make_unique<AwareSampleSort>(params);
+  if (name == "quadtree") return std::make_unique<QuadTree>(params);
+  if (name == "matmul") return std::make_unique<MatMul>(params);
+  SBS_CHECK_MSG(false, ("unknown kernel: " + name).c_str());
+  return nullptr;
+}
+
+std::vector<std::string> KernelNames() {
+  return {"rrm",      "rrg",        "quicksort", "samplesort",
+          "aware-samplesort", "quadtree", "matmul"};
+}
+
+}  // namespace sbs::kernels

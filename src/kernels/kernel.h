@@ -1,0 +1,84 @@
+// Common interface for the paper's seven benchmarks (§5.1).
+//
+// A Kernel owns its input/output arrays. The harness calls prepare() once,
+// then for each measured run builds a fresh job tree with make_root() (the
+// same tree runs under any scheduler and either engine) and afterwards calls
+// verify() to confirm the computation really happened — simulation replays
+// costs, but the strand bodies execute real C++, so sorts must sort and
+// multiplies must multiply.
+//
+// Approximate per-element compute costs (virtual cycles charged via
+// mem::work) live here so every kernel draws from one tuning table; they
+// set the compute-to-traffic ratio, which is what distinguishes
+// memory-intensive benchmarks (RRM/RRG/sorts) from compute-intensive ones
+// (matmul) in the paper's analysis.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/job.h"
+#include "util/rng.h"
+
+namespace sbs::kernels {
+
+// --- virtual-cycle costs per element operation ---
+inline constexpr double kMapCyclesPerElem = 2.0;      // load+add+store
+inline constexpr double kGatherCyclesPerElem = 4.0;   // mod + indexed load
+inline constexpr double kCompareCyclesPerElem = 6.0;  // branchy compare/swap
+inline constexpr double kPartitionCyclesPerElem = 3.0;
+inline constexpr double kMacCyclesPerOp = 0.6;  // dgemm MAC (~3.3 flop/cy)
+
+/// Charge c * n cycles of compute to the running strand.
+void charge_work(double cycles_per_elem, std::uint64_t elems);
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::string name() const = 0;
+  /// Allocate and (re)generate the input; deterministic in `seed`.
+  virtual void prepare(std::uint64_t seed) = 0;
+  /// Build a fresh job tree for one run. prepare() must have been called;
+  /// may be called repeatedly (the kernel resets its output state).
+  virtual runtime::Job* make_root() = 0;
+  /// Check the output of the last run.
+  virtual bool verify() const = 0;
+  /// Total input footprint in bytes (for reporting).
+  virtual std::uint64_t problem_bytes() const = 0;
+};
+
+struct KernelParams {
+  std::size_t n = 1 << 20;  ///< elements (doubles / points / matrix order²)
+  /// Machine-awareness for the aware samplesort: target bucket bytes
+  /// (the paper sizes buckets to fit L3). 0 = kernel default.
+  std::uint64_t target_bucket_bytes = 0;
+  /// RRM/RRG: number of repeated passes per recursion level (paper: 3).
+  int repeats = 3;
+  /// RRM/RRG: divide ratio f as a percentage (paper default 50).
+  int cut_ratio_pct = 50;
+  /// RRM/RRG: recursion base-case size in elements.
+  std::size_t base = 2048;
+  /// When running on a scaled-down machine preset (xeon7560_s<k>), divide
+  /// the paper's element-count thresholds (16K serial sort cutoff, 128K
+  /// parallel-partition cutoff, quadtree 16K sequential cutoff, ...) by the
+  /// same factor k so every cache-relative ratio is preserved.
+  int machine_scale = 1;
+
+  std::size_t scaled(std::size_t elems) const {
+    return std::max<std::size_t>(
+        64, elems / static_cast<std::size_t>(machine_scale));
+  }
+};
+
+/// Construct a kernel by name: "rrm", "rrg", "quicksort", "samplesort",
+/// "aware-samplesort", "quadtree", "matmul" (n = matrix order for matmul).
+std::unique_ptr<Kernel> MakeKernel(const std::string& name,
+                                   const KernelParams& params);
+
+std::vector<std::string> KernelNames();
+
+}  // namespace sbs::kernels

@@ -1,0 +1,34 @@
+// Matrix multiplication (paper §5.1): 8-way recursive C += A·B on n×n
+// doubles. To allow an in-place implementation, four of the eight recursive
+// quadrant products run in parallel, followed by the other four (two fork
+// phases). The base case is a hand-written blocked serial dgemm standing in
+// for the paper's MKL cblas_dgemm — compute-dense, so the kernel has a very
+// high instruction-to-miss ratio (Q* = Θ(n²/B · n/√M)).
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+class MatMul final : public Kernel {
+ public:
+  /// params.n is the matrix order (must be a power of two ≥ 8).
+  explicit MatMul(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "MatMul"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 3 * params_.n * params_.n * sizeof(double);
+  }
+
+ private:
+  KernelParams params_;
+  mem::Array<double> a_, b_, c_;
+};
+
+}  // namespace sbs::kernels

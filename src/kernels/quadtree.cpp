@@ -1,0 +1,382 @@
+#include "kernels/quadtree.h"
+
+#include <algorithm>
+
+#include "runtime/jobs.h"
+#include "runtime/parallel_for.h"
+#include "sched/ops.h"
+#include "util/assert.h"
+
+namespace sbs::kernels {
+
+using runtime::Job;
+using runtime::ParallelFor;
+using runtime::Strand;
+using runtime::kNoSize;
+using runtime::make_job;
+using runtime::make_nop;
+
+namespace {
+
+constexpr int kMaxDepth = 48;
+
+struct QtLimits {
+  std::size_t serial_cutoff = 16 * 1024;  // paper: < 16K sequential
+  std::size_t leaf_size = 256;
+  std::size_t block = 16 * 1024;
+};
+
+struct Bounds {
+  double x0, y0, x1, y1;
+  double midx() const { return (x0 + x1) / 2; }
+  double midy() const { return (y0 + y1) / 2; }
+  Bounds quadrant(int q) const {
+    const double mx = midx(), my = midy();
+    switch (q) {
+      case 0: return {x0, y0, mx, my};
+      case 1: return {x0, my, mx, y1};
+      case 2: return {mx, y0, x1, my};
+      default: return {mx, my, x1, y1};
+    }
+  }
+  bool contains(double x, double y) const {
+    return x >= x0 && x < x1 + 1e-12 && y >= y0 && y < y1 + 1e-12;
+  }
+};
+
+int quadrant_of(double x, double y, const Bounds& b) {
+  return (x >= b.midx() ? 2 : 0) + (y >= b.midy() ? 1 : 0);
+}
+
+void make_leaf(QuadNode* node, const double* x, const double* y,
+               std::size_t lo, std::size_t hi) {
+  node->leaf = true;
+  node->count = hi - lo;
+  mem::touch_read(x + lo, (hi - lo) * sizeof(double));
+  mem::touch_read(y + lo, (hi - lo) * sizeof(double));
+}
+
+/// In-place tandem partition of (x,y)[lo,hi) by pred; returns the split.
+template <class Pred>
+std::size_t tandem_partition(double* x, double* y, std::size_t lo,
+                             std::size_t hi, Pred pred) {
+  std::size_t i = lo;
+  for (std::size_t j = lo; j < hi; ++j) {
+    if (pred(x[j], y[j])) {
+      std::swap(x[i], x[j]);
+      std::swap(y[i], y[j]);
+      ++i;
+    }
+  }
+  return i;
+}
+
+}  // namespace
+
+/// Leaf bookkeeping needs access to QuadNode's fields; keep a tiny POD view
+/// inside the node via its public members (points stay in the caller's
+/// buffers; verify() re-walks them through these records).
+struct QuadLeafRecord {
+  const double* x;
+  const double* y;
+  std::size_t lo, hi;
+};
+
+namespace {
+
+// Side table: leaf node -> where its points live. Rebuilt every run.
+std::vector<std::pair<const QuadNode*, QuadLeafRecord>>* g_leaves = nullptr;
+sched::Spinlock g_leaves_lock;
+
+void record_leaf(const QuadNode* node, const double* x, const double* y,
+                 std::size_t lo, std::size_t hi) {
+  sched::SpinGuard guard(g_leaves_lock);
+  g_leaves->emplace_back(node, QuadLeafRecord{x, y, lo, hi});
+}
+
+void serial_build(QuadNode* node, double* x, double* y, std::size_t lo,
+                  std::size_t hi, const Bounds& b, int depth,
+                  std::size_t leaf_size) {
+  node->count = hi - lo;
+  if (hi - lo <= leaf_size || depth >= kMaxDepth) {
+    make_leaf(node, x, y, lo, hi);
+    record_leaf(node, x, y, lo, hi);
+    return;
+  }
+  node->leaf = false;
+  // Two tandem partition passes: by x, then by y within each half.
+  mem::touch_read(x + lo, (hi - lo) * sizeof(double));
+  mem::touch_read(y + lo, (hi - lo) * sizeof(double));
+  mem::touch_write(x + lo, (hi - lo) * sizeof(double));
+  mem::touch_write(y + lo, (hi - lo) * sizeof(double));
+  charge_work(2 * kPartitionCyclesPerElem, hi - lo);
+  const double mx = b.midx(), my = b.midy();
+  const std::size_t sx = tandem_partition(
+      x, y, lo, hi, [mx](double px, double) { return px < mx; });
+  const std::size_t s0 = tandem_partition(
+      x, y, lo, sx, [my](double, double py) { return py < my; });
+  const std::size_t s2 = tandem_partition(
+      x, y, sx, hi, [my](double, double py) { return py < my; });
+  const std::size_t cuts[5] = {lo, s0, sx, s2, hi};
+  for (int q = 0; q < 4; ++q) {
+    node->child[q] = std::make_unique<QuadNode>();
+    const Bounds qb = b.quadrant(q);
+    node->child[q]->x0 = qb.x0;
+    node->child[q]->y0 = qb.y0;
+    node->child[q]->x1 = qb.x1;
+    node->child[q]->y1 = qb.y1;
+    serial_build(node->child[q].get(), x, y, cuts[q], cuts[q + 1], qb,
+                 depth + 1, leaf_size);
+  }
+}
+
+struct QtCtx {
+  double* x;
+  double* y;
+  double* xs;
+  double* ys;
+  std::size_t lo, hi;
+  Bounds bounds;
+  QuadNode* node;
+  int depth;
+  QtLimits limits;
+  std::size_t nblocks;
+  mem::Array<std::uint32_t> counts;  // nblocks * 4 (touched scratch)
+  mem::Array<std::size_t> seg;       // nblocks * 4 scatter offsets
+  std::size_t quad_off[5];           // absolute offsets of the 4 groups
+};
+
+Job* build_task(double* x, double* y, double* xs, double* ys, std::size_t lo,
+                std::size_t hi, Bounds bounds, QuadNode* node, int depth,
+                const QtLimits& limits);
+
+}  // namespace
+
+namespace {
+
+Job* build_task(double* x, double* y, double* xs, double* ys, std::size_t lo,
+                std::size_t hi, Bounds bounds, QuadNode* node, int depth,
+                const QtLimits& limits) {
+  const std::uint64_t bytes = 4 * (hi - lo) * sizeof(double);
+  return make_job(
+      [x, y, xs, ys, lo, hi, bounds, node, depth, limits](Strand& strand) {
+        node->count = hi - lo;
+        if (hi - lo <= limits.serial_cutoff || depth >= kMaxDepth) {
+          serial_build(node, x, y, lo, hi, bounds, depth, limits.leaf_size);
+          return;
+        }
+        node->leaf = false;
+        auto ctx = std::make_shared<QtCtx>();
+        ctx->x = x;
+        ctx->y = y;
+        ctx->xs = xs;
+        ctx->ys = ys;
+        ctx->lo = lo;
+        ctx->hi = hi;
+        ctx->bounds = bounds;
+        ctx->node = node;
+        ctx->depth = depth;
+        ctx->limits = limits;
+        ctx->nblocks = (hi - lo + limits.block - 1) / limits.block;
+        ctx->counts.reset(ctx->nblocks * 4);
+        std::fill(ctx->counts.data(), ctx->counts.data() + ctx->nblocks * 4,
+                  0u);
+
+        // Count phase: per-block quadrant histograms.
+        Job* count = ParallelFor::make_flat(
+            0, ctx->nblocks, 1, 2 * ctx->limits.block * sizeof(double),
+            [ctx](std::size_t b0, std::size_t b1) {
+              for (std::size_t b = b0; b < b1; ++b) {
+                const std::size_t blo = ctx->lo + b * ctx->limits.block;
+                const std::size_t bhi =
+                    std::min(ctx->hi, blo + ctx->limits.block);
+                std::uint32_t* row = ctx->counts.data() + b * 4;
+                for (std::size_t i = blo; i < bhi; ++i)
+                  ++row[quadrant_of(ctx->x[i], ctx->y[i], ctx->bounds)];
+                mem::touch_read(ctx->x + blo, (bhi - blo) * sizeof(double));
+                mem::touch_read(ctx->y + blo, (bhi - blo) * sizeof(double));
+                charge_work(kPartitionCyclesPerElem, bhi - blo);
+              }
+            });
+
+        Job* prefix = make_job(
+            [ctx](Strand& s2) {
+              mem::touch_read(ctx->counts.data(),
+                              ctx->counts.size() * sizeof(std::uint32_t));
+              std::size_t totals[4] = {0, 0, 0, 0};
+              for (std::size_t b = 0; b < ctx->nblocks; ++b)
+                for (int q = 0; q < 4; ++q)
+                  totals[static_cast<std::size_t>(q)] +=
+                      ctx->counts[b * 4 + static_cast<std::size_t>(q)];
+              ctx->quad_off[0] = ctx->lo;
+              for (int q = 0; q < 4; ++q)
+                ctx->quad_off[q + 1] =
+                    ctx->quad_off[q] + totals[static_cast<std::size_t>(q)];
+              SBS_CHECK(ctx->quad_off[4] == ctx->hi);
+              ctx->seg.reset(ctx->nblocks * 4);
+              std::size_t next[4];
+              for (int q = 0; q < 4; ++q)
+                next[q] = ctx->quad_off[q];
+              for (std::size_t b = 0; b < ctx->nblocks; ++b) {
+                for (int q = 0; q < 4; ++q) {
+                  ctx->seg[b * 4 + static_cast<std::size_t>(q)] =
+                      next[static_cast<std::size_t>(q)];
+                  next[static_cast<std::size_t>(q)] +=
+                      ctx->counts[b * 4 + static_cast<std::size_t>(q)];
+                }
+              }
+              charge_work(2.0, ctx->nblocks * 4);
+
+              // Scatter into the alternate buffers.
+              Job* scatter = ParallelFor::make_flat(
+                  0, ctx->nblocks, 1,
+                  4 * ctx->limits.block * sizeof(double),
+                  [ctx](std::size_t b0, std::size_t b1) {
+                    for (std::size_t b = b0; b < b1; ++b) {
+                      const std::size_t blo =
+                          ctx->lo + b * ctx->limits.block;
+                      const std::size_t bhi =
+                          std::min(ctx->hi, blo + ctx->limits.block);
+                      std::size_t cursor[4];
+                      for (int q = 0; q < 4; ++q)
+                        cursor[q] =
+                            ctx->seg[b * 4 + static_cast<std::size_t>(q)];
+                      for (std::size_t i = blo; i < bhi; ++i) {
+                        const int q =
+                            quadrant_of(ctx->x[i], ctx->y[i], ctx->bounds);
+                        ctx->xs[cursor[q]] = ctx->x[i];
+                        ctx->ys[cursor[q]] = ctx->y[i];
+                        ++cursor[q];
+                      }
+                      mem::touch_read(ctx->x + blo,
+                                      (bhi - blo) * sizeof(double));
+                      mem::touch_read(ctx->y + blo,
+                                      (bhi - blo) * sizeof(double));
+                      for (int q = 0; q < 4; ++q) {
+                        const std::size_t s =
+                            ctx->seg[b * 4 + static_cast<std::size_t>(q)];
+                        const std::size_t len = cursor[q] - s;
+                        mem::touch_write(ctx->xs + s, len * sizeof(double));
+                        mem::touch_write(ctx->ys + s, len * sizeof(double));
+                      }
+                      charge_work(kPartitionCyclesPerElem, bhi - blo);
+                    }
+                  });
+
+              Job* recurse = make_job(
+                  [ctx](Strand& s3) {
+                    std::vector<Job*> children;
+                    for (int q = 0; q < 4; ++q) {
+                      ctx->node->child[q] = std::make_unique<QuadNode>();
+                      const Bounds qb = ctx->bounds.quadrant(q);
+                      QuadNode* child = ctx->node->child[q].get();
+                      child->x0 = qb.x0;
+                      child->y0 = qb.y0;
+                      child->x1 = qb.x1;
+                      child->y1 = qb.y1;
+                      // Children build from the scratch buffers with the
+                      // primary buffers as their scratch (ping-pong).
+                      children.push_back(build_task(
+                          ctx->xs, ctx->ys, ctx->x, ctx->y, ctx->quad_off[q],
+                          ctx->quad_off[q + 1], qb, child, ctx->depth + 1,
+                          ctx->limits));
+                    }
+                    s3.fork(std::move(children), make_nop());
+                  },
+                  kNoSize, 64);
+              s2.fork({scatter}, recurse);
+            },
+            kNoSize,
+            /*strand_bytes=*/ctx->nblocks * 4 * sizeof(std::uint32_t));
+        strand.fork({count}, prefix);
+      },
+      bytes, /*strand_bytes=*/64);
+}
+
+}  // namespace
+
+void QuadTree::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  x_.reset(params_.n);
+  y_.reset(params_.n);
+  xs_.reset(params_.n);
+  ys_.reset(params_.n);
+  in_x_.resize(params_.n);
+  in_y_.resize(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    in_x_[i] = rng.next_double();
+    in_y_[i] = rng.next_double();
+  }
+}
+
+Job* QuadTree::make_root() {
+  std::copy(in_x_.begin(), in_x_.end(), x_.data());
+  std::copy(in_y_.begin(), in_y_.end(), y_.data());
+  root_ = std::make_unique<QuadNode>();
+  root_->x0 = 0;
+  root_->y0 = 0;
+  root_->x1 = 1;
+  root_->y1 = 1;
+  // Reset the leaf side-table (single global build at a time).
+  static std::vector<std::pair<const QuadNode*, QuadLeafRecord>> leaves;
+  leaves.clear();
+  g_leaves = &leaves;
+  QtLimits limits;
+  limits.serial_cutoff = params_.scaled(16 * 1024);
+  limits.leaf_size = params_.scaled(256);
+  limits.block = params_.scaled(16 * 1024);
+  return build_task(x_.data(), y_.data(), xs_.data(), ys_.data(), 0,
+                    params_.n, Bounds{0, 0, 1, 1}, root_.get(), 0, limits);
+}
+
+namespace {
+
+bool verify_node(const QuadNode* node, std::size_t* leaf_total) {
+  if (node->leaf) {
+    *leaf_total += node->count;
+    return true;
+  }
+  std::size_t child_sum = 0;
+  for (int q = 0; q < 4; ++q) {
+    if (!node->child[q]) return false;
+    const QuadNode* c = node->child[q].get();
+    // Children tile the parent box.
+    if (c->x0 < node->x0 - 1e-12 || c->x1 > node->x1 + 1e-12 ||
+        c->y0 < node->y0 - 1e-12 || c->y1 > node->y1 + 1e-12) {
+      return false;
+    }
+    child_sum += c->count;
+    if (!verify_node(c, leaf_total)) return false;
+  }
+  return child_sum == node->count;
+}
+
+}  // namespace
+
+bool QuadTree::verify() const {
+  if (!root_ || root_->count != params_.n) return false;
+  std::size_t leaf_total = 0;
+  if (!verify_node(root_.get(), &leaf_total)) return false;
+  if (leaf_total != params_.n) return false;
+
+  // Every recorded leaf's points lie in its box, and together the leaves
+  // hold a permutation of the input (checked via sorted-x comparison).
+  SBS_CHECK(g_leaves != nullptr);
+  std::vector<double> all_x;
+  all_x.reserve(params_.n);
+  for (const auto& [node, rec] : *g_leaves) {
+    const Bounds b{node->x0, node->y0, node->x1, node->y1};
+    if (rec.hi - rec.lo != node->count) return false;
+    for (std::size_t i = rec.lo; i < rec.hi; ++i) {
+      if (!b.contains(rec.x[i], rec.y[i])) return false;
+      all_x.push_back(rec.x[i]);
+    }
+  }
+  if (all_x.size() != params_.n) return false;
+  std::vector<double> expect = in_x_;
+  std::sort(expect.begin(), expect.end());
+  std::sort(all_x.begin(), all_x.end());
+  return all_x == expect;
+}
+
+}  // namespace sbs::kernels

@@ -1,0 +1,47 @@
+// Quad-tree construction (paper §5.1): recursively partition n points in
+// [0,1)² into four quadrants along the midlines of each node's bounding
+// square, reverting to a sequential builder below 16K points.
+//
+// Points are stored SoA (x[], y[]); each internal node reorders its range
+// into the four quadrant groups (counts → prefix → scatter into the
+// alternate buffer), so the structure is memory-intensive like the sorts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+struct QuadNode {
+  double x0, y0, x1, y1;  ///< bounding square
+  std::size_t count = 0;  ///< points in this subtree
+  bool leaf = true;
+  std::unique_ptr<QuadNode> child[4];
+};
+
+class QuadTree final : public Kernel {
+ public:
+  explicit QuadTree(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "Quad-Tree"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 4 * params_.n * sizeof(double);  // x,y + scratch copies
+  }
+
+  const QuadNode* root_node() const { return root_.get(); }
+
+ private:
+  KernelParams params_;
+  mem::Array<double> x_, y_;        ///< working buffers (ping)
+  mem::Array<double> xs_, ys_;      ///< scratch buffers (pong)
+  std::vector<double> in_x_, in_y_;  ///< pristine input
+  std::unique_ptr<QuadNode> root_;
+};
+
+}  // namespace sbs::kernels

@@ -1,0 +1,295 @@
+#include "kernels/quicksort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "runtime/jobs.h"
+#include "runtime/parallel_for.h"
+#include "util/assert.h"
+
+namespace sbs::kernels {
+
+using runtime::Job;
+using runtime::ParallelFor;
+using runtime::Strand;
+using runtime::kNoSize;
+using runtime::make_job;
+using runtime::make_nop;
+
+void SerialSortWithTouches(double* data, std::size_t lo, std::size_t hi) {
+  const std::size_t m = hi - lo;
+  if (m <= 1) return;
+  std::sort(data + lo, data + hi);
+  // Cache traffic of a serial quicksort: every recursion level sweeps the
+  // whole range once (read + write) until subranges reach insertion grain.
+  const double levels =
+      std::max(1.0, std::log2(static_cast<double>(m) / 32.0));
+  for (int pass = 0; pass < static_cast<int>(levels); ++pass) {
+    mem::touch_read(data + lo, m * sizeof(double));
+    mem::touch_write(data + lo, m * sizeof(double));
+  }
+  charge_work(kCompareCyclesPerElem,
+              static_cast<std::uint64_t>(static_cast<double>(m) *
+                                         std::log2(static_cast<double>(m))));
+}
+
+namespace {
+
+double median3_with_touches(const double* data, std::size_t lo,
+                            std::size_t hi) {
+  const std::size_t mid = lo + (hi - lo) / 2;
+  mem::touch_read(&data[lo], sizeof(double));
+  mem::touch_read(&data[mid], sizeof(double));
+  mem::touch_read(&data[hi - 1], sizeof(double));
+  const double a = data[lo], b = data[mid], c = data[hi - 1];
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+/// Guard against pathological pivots: the partition produced an empty left
+/// side, i.e. the pivot is the range minimum (duplicates). Move the entire
+/// pivot-equal run to the front — that prefix is sorted — and return its
+/// length so the caller recurses only on the strictly-greater remainder.
+/// Keeps duplicate-heavy inputs at O(log n) recursion depth.
+std::size_t fix_empty_left(double* data, std::size_t lo, std::size_t hi,
+                           double pivot) {
+  double* split = std::partition(data + lo, data + hi,
+                                 [pivot](double x) { return x == pivot; });
+  mem::touch_read(data + lo, (hi - lo) * sizeof(double));
+  mem::touch_write(data + lo, (hi - lo) * sizeof(double));
+  charge_work(kPartitionCyclesPerElem, hi - lo);
+  return static_cast<std::size_t>(split - (data + lo));
+}
+
+/// Shared state of one parallel partition (count → prefix → scatter → copy).
+struct ParPartition {
+  double* data;
+  double* aux;
+  std::size_t lo, hi;
+  double pivot;
+  std::size_t block;
+  std::size_t nblocks;
+  // Scratch lives on the deterministic arena (it is touched, so its
+  // simulated placement must be reproducible).
+  mem::Array<std::size_t> less;      // per-block < pivot counts
+  mem::Array<std::size_t> less_off;  // scatter offsets (into aux)
+  mem::Array<std::size_t> geq_off;
+  std::size_t n_less = 0;
+  QuicksortLimits limits;
+
+  std::size_t block_lo(std::size_t b) const { return lo + b * block; }
+  std::size_t block_hi(std::size_t b) const {
+    return std::min(hi, lo + (b + 1) * block);
+  }
+};
+
+Job* sort_task(double* data, double* aux, std::size_t lo, std::size_t hi,
+               const QuicksortLimits& limits);
+
+/// Phase bodies of the parallel partition, chained by continuations.
+void fork_recursion(Strand& strand, const std::shared_ptr<ParPartition>& ctx) {
+  std::size_t n_less = ctx->n_less;
+  if (n_less == 0) {
+    // All elements ≥ pivot: the pivot-equal prefix is already in order.
+    n_less = fix_empty_left(ctx->data, ctx->lo, ctx->hi, ctx->pivot);
+    if (n_less == ctx->hi - ctx->lo) return;  // all equal: sorted
+    strand.fork({sort_task(ctx->data, ctx->aux, ctx->lo + n_less, ctx->hi,
+                           ctx->limits)},
+                make_nop());
+    return;
+  }
+  strand.fork2(
+      sort_task(ctx->data, ctx->aux, ctx->lo, ctx->lo + n_less, ctx->limits),
+      sort_task(ctx->data, ctx->aux, ctx->lo + n_less, ctx->hi, ctx->limits),
+      make_nop());
+}
+
+Job* make_parallel_partition(double* data, double* aux, std::size_t lo,
+                             std::size_t hi, double pivot,
+                             const QuicksortLimits& limits) {
+  auto ctx = std::make_shared<ParPartition>();
+  ctx->data = data;
+  ctx->aux = aux;
+  ctx->lo = lo;
+  ctx->hi = hi;
+  ctx->pivot = pivot;
+  ctx->block = limits.partition_block;
+  ctx->nblocks = (hi - lo + ctx->block - 1) / ctx->block;
+  ctx->less.reset(ctx->nblocks);
+  std::fill(ctx->less.data(), ctx->less.data() + ctx->nblocks, 0);
+  ctx->limits = limits;
+  const std::uint64_t ctx_bytes = ctx->nblocks * 3 * sizeof(std::size_t);
+
+  // Phase A: per-block counts of elements < pivot.
+  Job* count = ParallelFor::make_flat(
+      0, ctx->nblocks, 1, ctx->block * sizeof(double),
+      [ctx](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          const std::size_t blo = ctx->block_lo(b), bhi = ctx->block_hi(b);
+          std::size_t n = 0;
+          for (std::size_t i = blo; i < bhi; ++i) {
+            n += ctx->data[i] < ctx->pivot ? 1 : 0;
+          }
+          ctx->less[b] = n;
+          mem::touch_read(ctx->data + blo, (bhi - blo) * sizeof(double));
+          charge_work(kPartitionCyclesPerElem, bhi - blo);
+        }
+      });
+
+  // Phase B (continuation): prefix sums → scatter offsets.
+  Job* prefix = make_job(
+      [ctx](Strand& strand) {
+        mem::touch_read(ctx->less.data(),
+                        ctx->nblocks * sizeof(std::size_t));
+        ctx->less_off.reset(ctx->nblocks);
+        ctx->geq_off.reset(ctx->nblocks);
+        std::size_t total_less = 0, total = 0;
+        for (std::size_t b = 0; b < ctx->nblocks; ++b) total_less += ctx->less[b];
+        ctx->n_less = total_less;
+        std::size_t run_less = 0, run_geq = 0;
+        for (std::size_t b = 0; b < ctx->nblocks; ++b) {
+          ctx->less_off[b] = ctx->lo + run_less;
+          ctx->geq_off[b] = ctx->lo + total_less + run_geq;
+          const std::size_t len = ctx->block_hi(b) - ctx->block_lo(b);
+          run_less += ctx->less[b];
+          run_geq += len - ctx->less[b];
+          total += len;
+        }
+        SBS_ASSERT(run_less + run_geq == total);
+        mem::touch_write(ctx->less_off.data(),
+                         ctx->nblocks * sizeof(std::size_t));
+        charge_work(2.0, ctx->nblocks);
+
+        // Phase C: scatter each block into aux.
+        Job* scatter = ParallelFor::make_flat(
+            0, ctx->nblocks, 1, 2 * ctx->block * sizeof(double),
+            [ctx](std::size_t b0, std::size_t b1) {
+              for (std::size_t b = b0; b < b1; ++b) {
+                const std::size_t blo = ctx->block_lo(b);
+                const std::size_t bhi = ctx->block_hi(b);
+                std::size_t l = ctx->less_off[b], g = ctx->geq_off[b];
+                for (std::size_t i = blo; i < bhi; ++i) {
+                  if (ctx->data[i] < ctx->pivot) {
+                    ctx->aux[l++] = ctx->data[i];
+                  } else {
+                    ctx->aux[g++] = ctx->data[i];
+                  }
+                }
+                mem::touch_read(ctx->data + blo,
+                                (bhi - blo) * sizeof(double));
+                mem::touch_write(ctx->aux + ctx->less_off[b],
+                                 ctx->less[b] * sizeof(double));
+                mem::touch_write(ctx->aux + ctx->geq_off[b],
+                                 (bhi - blo - ctx->less[b]) * sizeof(double));
+                charge_work(kPartitionCyclesPerElem, bhi - blo);
+              }
+            });
+
+        // Phase D: copy aux back, then recurse on both sides.
+        Job* copy_back_then_recurse = make_job(
+            [ctx](Strand& inner) {
+              Job* copy = ParallelFor::make_flat(
+                  ctx->lo, ctx->hi, ctx->limits.partition_block,
+                  2 * sizeof(double),
+                  [ctx](std::size_t i0, std::size_t i1) {
+                    std::copy(ctx->aux + i0, ctx->aux + i1, ctx->data + i0);
+                    mem::touch_read(ctx->aux + i0, (i1 - i0) * sizeof(double));
+                    mem::touch_write(ctx->data + i0,
+                                     (i1 - i0) * sizeof(double));
+                    charge_work(1.0, i1 - i0);
+                  });
+              Job* recurse = make_job(
+                  [ctx](Strand& rec) { fork_recursion(rec, ctx); }, kNoSize,
+                  64);
+              inner.fork({copy}, recurse);
+            },
+            kNoSize, /*strand_bytes=*/64);
+        strand.fork({scatter}, copy_back_then_recurse);
+      },
+      kNoSize, /*strand_bytes=*/ctx_bytes);
+
+  // The partition task itself: fork the count phase, continue with prefix.
+  const std::uint64_t bytes = 2 * (hi - lo) * sizeof(double);
+  return make_job(
+      [count, prefix](Strand& strand) { strand.fork({count}, prefix); },
+      bytes, /*strand_bytes=*/64);
+}
+
+Job* sort_task(double* data, double* aux, std::size_t lo, std::size_t hi,
+               const QuicksortLimits& limits) {
+  const std::uint64_t bytes = 2 * (hi - lo) * sizeof(double);
+  return make_job(
+      [data, aux, lo, hi, limits](Strand& strand) {
+        const std::size_t m = hi - lo;
+        if (m <= limits.serial_cutoff) {
+          SerialSortWithTouches(data, lo, hi);
+          return;
+        }
+        const double pivot = median3_with_touches(data, lo, hi);
+        if (m <= limits.parallel_partition_cutoff) {
+          // Serial partition, parallel recursion.
+          double* first = data + lo;
+          double* split = std::partition(
+              first, data + hi, [pivot](double x) { return x < pivot; });
+          mem::touch_read(data + lo, m * sizeof(double));
+          mem::touch_write(data + lo, m * sizeof(double));
+          charge_work(kPartitionCyclesPerElem, m);
+          std::size_t n_less = static_cast<std::size_t>(split - first);
+          if (n_less == 0) {
+            n_less = fix_empty_left(data, lo, hi, pivot);
+            if (n_less == m) return;  // all equal: sorted
+            strand.fork({sort_task(data, aux, lo + n_less, hi, limits)},
+                        make_nop());
+            return;
+          }
+          strand.fork2(sort_task(data, aux, lo, lo + n_less, limits),
+                       sort_task(data, aux, lo + n_less, hi, limits),
+                       make_nop());
+          return;
+        }
+        strand.fork({make_parallel_partition(data, aux, lo, hi, pivot,
+                                             limits)},
+                    make_nop());
+      },
+      bytes, /*strand_bytes=*/64);
+}
+
+}  // namespace
+
+Job* MakeQuicksortTask(double* data, double* aux, std::size_t lo,
+                       std::size_t hi, const QuicksortLimits& limits) {
+  return sort_task(data, aux, lo, hi, limits);
+}
+
+void Quicksort::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  data_.reset(params_.n);
+  aux_.reset(params_.n);
+  input_.resize(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    input_[i] = rng.next_double();
+    data_[i] = input_[i];
+  }
+}
+
+Job* Quicksort::make_root() {
+  std::copy(input_.begin(), input_.end(), data_.data());
+  QuicksortLimits limits;
+  limits.serial_cutoff = params_.scaled(16 * 1024);
+  limits.parallel_partition_cutoff = params_.scaled(128 * 1024);
+  limits.partition_block = params_.scaled(16 * 1024);
+  return MakeQuicksortTask(data_.data(), aux_.data(), 0, params_.n, limits);
+}
+
+bool Quicksort::verify() const {
+  if (!std::is_sorted(data_.data(), data_.data() + params_.n)) return false;
+  std::vector<double> expect = input_;
+  std::sort(expect.begin(), expect.end());
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (data_[i] != expect[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sbs::kernels

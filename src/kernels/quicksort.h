@@ -1,0 +1,55 @@
+// Parallel quicksort (paper §5.1): parallelizes both the partition and the
+// recursive calls; median-of-3 pivots. Below 128K elements it parallelizes
+// only the recursion (serial partition); below 16K it runs serially —
+// the paper's thresholds.
+//
+// The task builder is exposed so the aware samplesort can fork quicksorts
+// on its buckets, exactly as the paper describes.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/kernel.h"
+#include "runtime/job.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+struct QuicksortLimits {
+  std::size_t serial_cutoff = 16 * 1024;          // paper: serial below 16K
+  std::size_t parallel_partition_cutoff = 128 * 1024;  // paper: 128K
+  std::size_t partition_block = 16 * 1024;        // block size for par. part.
+};
+
+/// Build a task that sorts data[lo,hi) in place, using aux[lo,hi) as
+/// scratch for the parallel partition. Annotated for space-bounded
+/// schedulers (footprint = both buffers over the range).
+runtime::Job* MakeQuicksortTask(double* data, double* aux, std::size_t lo,
+                                std::size_t hi,
+                                const QuicksortLimits& limits = {});
+
+/// Serial base case shared by the sort kernels: really sorts [lo,hi) and
+/// charges the cache traffic of a quicksort — one read+write sweep of the
+/// range per recursion level down to insertion-sort grain.
+void SerialSortWithTouches(double* data, std::size_t lo, std::size_t hi);
+
+class Quicksort final : public Kernel {
+ public:
+  explicit Quicksort(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "Quicksort"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 2 * params_.n * sizeof(double);  // data + partition scratch
+  }
+
+ private:
+  KernelParams params_;
+  mem::Array<double> data_;
+  mem::Array<double> aux_;
+  std::vector<double> input_;  ///< pristine copy: reset + verification
+};
+
+}  // namespace sbs::kernels

@@ -1,0 +1,98 @@
+#include "kernels/rrg.h"
+
+#include "runtime/jobs.h"
+#include "runtime/parallel_for.h"
+#include "util/assert.h"
+
+namespace sbs::kernels {
+
+using runtime::Job;
+using runtime::ParallelFor;
+using runtime::Strand;
+using runtime::kNoSize;
+using runtime::make_job;
+using runtime::make_nop;
+
+void Rrg::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  a_.reset(params_.n);
+  b_.reset(params_.n);
+  idx_.reset(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    a_[i] = static_cast<double>(rng.next_below(1u << 30));
+    b_[i] = 0.0;
+    idx_[i] = static_cast<std::uint32_t>(rng.next());
+  }
+}
+
+Job* Rrg::make_task(std::size_t lo, std::size_t hi) {
+  // Like RRM, each repeat is a parallel pass over the whole range, chained
+  // through continuations, followed by the two-way recursion.
+  const std::uint64_t bytes =
+      (hi - lo) * (2 * sizeof(double) + sizeof(std::uint32_t));
+  return make_job(
+      [this, lo, hi](Strand& strand) { run_pass(strand, lo, hi, 0); },
+      bytes, /*strand_bytes=*/64);
+}
+
+void Rrg::run_pass(Strand& strand, std::size_t lo, std::size_t hi, int pass) {
+  const std::size_t len = hi - lo;
+  if (pass < params_.repeats) {
+    Job* gather = ParallelFor::make_flat(
+        lo, hi, params_.base, 2 * sizeof(double) + sizeof(std::uint32_t),
+        [this, lo, len](std::size_t i0, std::size_t i1) {
+          idx_.touch_range(i0, i1, false);
+          for (std::size_t i = i0; i < i1; ++i) {
+            // Random read within the *task's* subrange: per-element hook.
+            b_[i] = a_.read(lo + idx_[i] % len);
+          }
+          b_.touch_range(i0, i1, true);
+          charge_work(kGatherCyclesPerElem, i1 - i0);
+        });
+    Job* cont = make_job(
+        [this, lo, hi, pass](Strand& s) { run_pass(s, lo, hi, pass + 1); },
+        kNoSize, /*strand_bytes=*/64);
+    strand.fork({gather}, cont);
+    return;
+  }
+  if (len > params_.base) {
+    const std::size_t cut =
+        lo + len * static_cast<std::size_t>(params_.cut_ratio_pct) / 100;
+    const std::size_t mid = std::min(std::max(cut, lo + 1), hi - 1);
+    strand.fork2(make_task(lo, mid), make_task(mid, hi), make_nop());
+  }
+}
+
+Job* Rrg::make_root() { return make_task(0, params_.n); }
+
+void Rrg::base_ranges(
+    std::size_t lo, std::size_t hi,
+    std::vector<std::pair<std::size_t, std::size_t>>* out) const {
+  if (hi - lo <= params_.base) {
+    out->emplace_back(lo, hi);
+    return;
+  }
+  const std::size_t cut =
+      lo + (hi - lo) * static_cast<std::size_t>(params_.cut_ratio_pct) / 100;
+  const std::size_t mid = std::min(std::max(cut, lo + 1), hi - 1);
+  base_ranges(lo, mid, out);
+  base_ranges(mid, hi, out);
+}
+
+bool Rrg::verify() const {
+  // B is overwritten at every recursion level; its final contents are the
+  // gathers of the deepest (base) level, whose ranges are deterministic.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  base_ranges(0, params_.n, &ranges);
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : ranges) {
+    SBS_CHECK(hi > lo);
+    covered += hi - lo;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (b_[i] != a_[lo + idx_[i] % (hi - lo)]) return false;
+    }
+  }
+  return covered == params_.n;
+}
+
+}  // namespace sbs::kernels

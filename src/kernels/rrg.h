@@ -1,0 +1,46 @@
+// RRG — recursive repeated gather (paper §5.1).
+//
+// Three n-length arrays A, B, I (I holds random integers). Each task sets
+// B[i] = A[lo + (I[i] mod (hi-lo))] over its range [lo,hi) `repeats` times,
+// then splits by the cut ratio and recurses. Like RRM but with random
+// instead of linear reads of A — even more bandwidth-hungry, and the
+// per-element gathers are genuinely data-dependent, so they go through the
+// instrumented single-element accessor rather than range touches.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/kernel.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+class Rrg final : public Kernel {
+ public:
+  explicit Rrg(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "RRG"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return params_.n * (2 * sizeof(double) + sizeof(std::uint32_t));
+  }
+
+ private:
+  runtime::Job* make_task(std::size_t lo, std::size_t hi);
+  /// Fork gather pass `pass` of [lo,hi) (continuation-chained), then recurse.
+  void run_pass(runtime::Strand& strand, std::size_t lo, std::size_t hi,
+                int pass);
+  /// The base-level decomposition of [lo,hi), used by verify() to recompute
+  /// the final (deepest-level) gather values sequentially.
+  void base_ranges(std::size_t lo, std::size_t hi,
+                   std::vector<std::pair<std::size_t, std::size_t>>* out) const;
+
+  KernelParams params_;
+  mem::Array<double> a_;
+  mem::Array<double> b_;
+  mem::Array<std::uint32_t> idx_;
+};
+
+}  // namespace sbs::kernels

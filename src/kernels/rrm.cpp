@@ -1,0 +1,84 @@
+#include "kernels/rrm.h"
+
+#include "runtime/jobs.h"
+#include "runtime/parallel_for.h"
+
+namespace sbs::kernels {
+
+using runtime::Job;
+using runtime::ParallelFor;
+using runtime::Strand;
+using runtime::kNoSize;
+using runtime::make_job;
+using runtime::make_nop;
+
+void Rrm::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  a_.reset(params_.n);
+  b_.reset(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    a_[i] = static_cast<double>(rng.next_below(1u << 30));
+    b_[i] = 0.0;
+  }
+}
+
+namespace {
+
+/// One parallel point-wise map pass over [lo,hi) (the paper: "RRM first
+/// does a parallel point-wise map from A to B").
+runtime::Job* map_pass(const mem::Array<double>& a, mem::Array<double>& b,
+                       std::size_t lo, std::size_t hi, std::size_t grain) {
+  return ParallelFor::make_flat(
+      lo, hi, grain, 2 * sizeof(double),
+      [&a, &b](std::size_t i0, std::size_t i1) {
+        a.touch_range(i0, i1, false);
+        for (std::size_t i = i0; i < i1; ++i) b[i] = a[i] + 1.0;
+        b.touch_range(i0, i1, true);
+        charge_work(kMapCyclesPerElem, i1 - i0);
+      });
+}
+
+}  // namespace
+
+Job* Rrm::make_task(std::size_t lo, std::size_t hi) {
+  // The task chains `repeats` parallel map passes over its whole range via
+  // continuations, then splits by the cut ratio and recurses.
+  const std::uint64_t bytes = 2 * (hi - lo) * sizeof(double);
+  return make_job(
+      [this, lo, hi, bytes](Strand& strand) {
+        run_pass(strand, lo, hi, 0, bytes);
+      },
+      bytes, /*strand_bytes=*/64);
+}
+
+void Rrm::run_pass(Strand& strand, std::size_t lo, std::size_t hi, int pass,
+                   std::uint64_t bytes) {
+  if (pass < params_.repeats) {
+    Job* map = map_pass(a_, b_, lo, hi, params_.base);
+    Job* cont = make_job(
+        [this, lo, hi, pass, bytes](Strand& s) {
+          run_pass(s, lo, hi, pass + 1, bytes);
+        },
+        kNoSize, /*strand_bytes=*/64);
+    strand.fork({map}, cont);
+    return;
+  }
+  if (hi - lo > params_.base) {
+    const std::size_t cut =
+        lo + (hi - lo) * static_cast<std::size_t>(params_.cut_ratio_pct) / 100;
+    // Guard degenerate ratios so both halves stay non-empty.
+    const std::size_t mid = std::min(std::max(cut, lo + 1), hi - 1);
+    strand.fork2(make_task(lo, mid), make_task(mid, hi), make_nop());
+  }
+}
+
+Job* Rrm::make_root() { return make_task(0, params_.n); }
+
+bool Rrm::verify() const {
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (b_[i] != a_[i] + 1.0) return false;
+  }
+  return true;
+}
+
+}  // namespace sbs::kernels

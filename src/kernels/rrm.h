@@ -1,0 +1,40 @@
+// RRM — recursive repeated map (paper §5.1).
+//
+// Two n-length double arrays A and B. Each task maps B[i] = A[i] + 1 over
+// its range `repeats` times, then splits the range by the cut ratio f and
+// recurses on both parts down to the base-case size. Memory-intensive:
+// almost no compute per byte, but every subrange that fits in a cache is
+// fully reused once resident.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/kernel.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+class Rrm final : public Kernel {
+ public:
+  explicit Rrm(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "RRM"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 2 * params_.n * sizeof(double);
+  }
+
+ private:
+  runtime::Job* make_task(std::size_t lo, std::size_t hi);
+  /// Fork map pass `pass` of [lo,hi) (continuation-chained), then recurse.
+  void run_pass(runtime::Strand& strand, std::size_t lo, std::size_t hi,
+                int pass, std::uint64_t bytes);
+
+  KernelParams params_;
+  mem::Array<double> a_;
+  mem::Array<double> b_;
+};
+
+}  // namespace sbs::kernels

@@ -1,0 +1,488 @@
+#include "kernels/samplesort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "kernels/quicksort.h"
+#include "runtime/jobs.h"
+#include "runtime/parallel_for.h"
+#include "util/assert.h"
+
+namespace sbs::kernels {
+
+using runtime::Job;
+using runtime::ParallelFor;
+using runtime::Strand;
+using runtime::kNoSize;
+using runtime::make_job;
+using runtime::make_nop;
+
+namespace {
+
+constexpr std::size_t kOversample = 8;
+
+/// Binary search with instrumented probes (each probe touches one element).
+std::size_t search_with_touches(const double* data, std::size_t lo,
+                                std::size_t hi, double key) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    mem::touch_read(&data[mid], sizeof(double));
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  charge_work(kCompareCyclesPerElem, 1);
+  return lo;
+}
+
+/// State of one samplesort node: √n-way split, counts matrix, offsets.
+struct SsCtx {
+  double* src;      ///< sorted in place
+  double* scratch;  ///< same extent, disjoint storage
+  std::size_t lo, hi;
+  std::size_t m;       ///< number of subarrays / buckets (≈ √len)
+  std::size_t sublen;  ///< elements per subarray (last may be short)
+  std::size_t serial_cutoff;
+  std::vector<double> pivots;           // m-1 (host-only metadata)
+  mem::Array<std::uint32_t> counts;     // m*m: counts[i*m+j] (touched)
+  mem::Array<std::uint32_t> seg;        // m*m scatter offsets (touched)
+  std::vector<std::size_t> bucket_off;  // m+1 (relative to lo)
+
+  std::size_t sub_lo(std::size_t i) const { return lo + i * sublen; }
+  std::size_t sub_hi(std::size_t i) const {
+    return std::min(hi, lo + (i + 1) * sublen);
+  }
+};
+
+Job* sample_sort_task(double* src, double* scratch, std::size_t lo,
+                      std::size_t hi, std::size_t serial_cutoff);
+
+/// After subarrays are sorted: sample → pivots → counts → transpose →
+/// bucket sorts. Chained through continuations.
+void pick_pivots_and_continue(Strand& strand,
+                              const std::shared_ptr<SsCtx>& ctx) {
+  // Oversample: kOversample evenly spaced elements per sorted subarray.
+  std::vector<double> sample;
+  sample.reserve(ctx->m * kOversample);
+  for (std::size_t i = 0; i < ctx->m; ++i) {
+    const std::size_t slo = ctx->sub_lo(i), shi = ctx->sub_hi(i);
+    const std::size_t len = shi - slo;
+    for (std::size_t k = 0; k < kOversample && k < len; ++k) {
+      const std::size_t pos = slo + k * len / kOversample;
+      mem::touch_read(&ctx->src[pos], sizeof(double));
+      sample.push_back(ctx->src[pos]);
+    }
+  }
+  std::sort(sample.begin(), sample.end());
+  charge_work(kCompareCyclesPerElem,
+              static_cast<std::uint64_t>(
+                  static_cast<double>(sample.size()) *
+                  std::max(1.0, std::log2(static_cast<double>(sample.size())))));
+  ctx->pivots.clear();
+  for (std::size_t j = 1; j < ctx->m; ++j) {
+    ctx->pivots.push_back(sample[j * sample.size() / ctx->m]);
+  }
+  ctx->counts.reset(ctx->m * ctx->m);
+  std::fill(ctx->counts.data(), ctx->counts.data() + ctx->m * ctx->m, 0u);
+
+  // Count phase: for each sorted subarray, locate the pivot boundaries.
+  Job* count = ParallelFor::make_flat(
+      0, ctx->m, 1, ctx->sublen * sizeof(double),
+      [ctx](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const std::size_t slo = ctx->sub_lo(i), shi = ctx->sub_hi(i);
+          std::size_t prev = slo;
+          for (std::size_t j = 0; j + 1 < ctx->m; ++j) {
+            const std::size_t cut =
+                search_with_touches(ctx->src, prev, shi, ctx->pivots[j]);
+            ctx->counts[i * ctx->m + j] =
+                static_cast<std::uint32_t>(cut - prev);
+            prev = cut;
+          }
+          ctx->counts[i * ctx->m + (ctx->m - 1)] =
+              static_cast<std::uint32_t>(shi - prev);
+        }
+      });
+
+  // Prefix + transpose + bucket sort chain as the fork's continuation.
+  Job* prefix = make_job(
+      [ctx](Strand& s2) {
+        // Bucket offsets (column sums), then turn counts into per-(i,j)
+        // scatter offsets in place.
+        mem::touch_read(ctx->counts.data(),
+                        ctx->counts.size() * sizeof(std::uint32_t));
+        ctx->bucket_off.assign(ctx->m + 1, 0);
+        for (std::size_t j = 0; j < ctx->m; ++j) {
+          std::size_t total = 0;
+          for (std::size_t i = 0; i < ctx->m; ++i)
+            total += ctx->counts[i * ctx->m + j];
+          ctx->bucket_off[j + 1] = ctx->bucket_off[j] + total;
+        }
+        SBS_CHECK(ctx->bucket_off[ctx->m] == ctx->hi - ctx->lo);
+        std::vector<std::size_t> next(ctx->m);
+        for (std::size_t j = 0; j < ctx->m; ++j) next[j] = ctx->bucket_off[j];
+        // seg[i][j] := relative scatter offset for segment (i,j).
+        ctx->seg.reset(ctx->m * ctx->m);
+        for (std::size_t i = 0; i < ctx->m; ++i) {
+          for (std::size_t j = 0; j < ctx->m; ++j) {
+            ctx->seg[i * ctx->m + j] = static_cast<std::uint32_t>(next[j]);
+            next[j] += ctx->counts[i * ctx->m + j];
+          }
+        }
+        mem::touch_write(ctx->seg.data(),
+                         ctx->seg.size() * sizeof(std::uint32_t));
+        charge_work(2.0, ctx->m * ctx->m);
+
+        // Block transpose: scatter each subarray's segments to the buckets.
+        Job* transpose = ParallelFor::make_flat(
+            0, ctx->m, 1, 2 * ctx->sublen * sizeof(double),
+            [ctx](std::size_t i0, std::size_t i1) {
+              for (std::size_t i = i0; i < i1; ++i) {
+                std::size_t pos = ctx->sub_lo(i);
+                for (std::size_t j = 0; j < ctx->m; ++j) {
+                  const std::size_t len = ctx->counts[i * ctx->m + j];
+                  if (len == 0) continue;
+                  const std::size_t dst =
+                      ctx->lo + ctx->seg[i * ctx->m + j];
+                  std::copy(ctx->src + pos, ctx->src + pos + len,
+                            ctx->scratch + dst);
+                  mem::touch_read(ctx->src + pos, len * sizeof(double));
+                  mem::touch_write(ctx->scratch + dst, len * sizeof(double));
+                  charge_work(1.0, len);
+                  pos += len;
+                }
+              }
+            });
+
+        Job* bucket_stage = make_job(
+            [ctx](Strand& s3) {
+              // Recursively sort each bucket in scratch (roles swapped),
+              // then copy the result back into src.
+              std::vector<Job*> buckets;
+              for (std::size_t j = 0; j < ctx->m; ++j) {
+                const std::size_t blo = ctx->lo + ctx->bucket_off[j];
+                const std::size_t bhi = ctx->lo + ctx->bucket_off[j + 1];
+                if (bhi > blo) {
+                  buckets.push_back(sample_sort_task(
+                      ctx->scratch, ctx->src, blo, bhi, ctx->serial_cutoff));
+                }
+              }
+              Job* copy_back = make_job(
+                  [ctx](Strand& s4) {
+                    s4.fork({ParallelFor::make_flat(
+                                ctx->lo, ctx->hi, ctx->serial_cutoff,
+                                2 * sizeof(double),
+                                [ctx](std::size_t i0, std::size_t i1) {
+                                  std::copy(ctx->scratch + i0,
+                                            ctx->scratch + i1, ctx->src + i0);
+                                  mem::touch_read(ctx->scratch + i0,
+                                                  (i1 - i0) * sizeof(double));
+                                  mem::touch_write(ctx->src + i0,
+                                                   (i1 - i0) * sizeof(double));
+                                  charge_work(1.0, i1 - i0);
+                                })},
+                            make_nop());
+                  },
+                  kNoSize, 64);
+              if (buckets.empty()) {
+                s3.fork({make_nop()}, copy_back);
+              } else {
+                s3.fork(std::move(buckets), copy_back);
+              }
+            },
+            kNoSize, 64);
+        s2.fork({transpose}, bucket_stage);
+      },
+      kNoSize,
+      /*strand_bytes=*/ctx->m * ctx->m * sizeof(std::uint32_t));
+
+  strand.fork({count}, prefix);
+}
+
+Job* sample_sort_task(double* src, double* scratch, std::size_t lo,
+                      std::size_t hi, std::size_t serial_cutoff) {
+  const std::uint64_t bytes = 2 * (hi - lo) * sizeof(double);
+  return make_job(
+      [src, scratch, lo, hi, serial_cutoff](Strand& strand) {
+        const std::size_t len = hi - lo;
+        if (len <= serial_cutoff) {
+          SerialSortWithTouches(src, lo, hi);
+          return;
+        }
+        auto ctx = std::make_shared<SsCtx>();
+        ctx->src = src;
+        ctx->scratch = scratch;
+        ctx->lo = lo;
+        ctx->hi = hi;
+        ctx->serial_cutoff = serial_cutoff;
+        ctx->m = static_cast<std::size_t>(
+            std::sqrt(static_cast<double>(len)));
+        ctx->sublen = (len + ctx->m - 1) / ctx->m;
+        // Recursively sort the √n subarrays, then continue with pivots.
+        std::vector<Job*> subs;
+        for (std::size_t i = 0; i < ctx->m; ++i) {
+          if (ctx->sub_hi(i) > ctx->sub_lo(i)) {
+            subs.push_back(sample_sort_task(src, scratch, ctx->sub_lo(i),
+                                            ctx->sub_hi(i), serial_cutoff));
+          }
+        }
+        Job* cont = make_job(
+            [ctx](Strand& s) { pick_pivots_and_continue(s, ctx); }, kNoSize,
+            /*strand_bytes=*/ctx->m * kOversample * sizeof(double));
+        strand.fork(std::move(subs), cont);
+      },
+      bytes, /*strand_bytes=*/64);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SampleSort kernel
+// ---------------------------------------------------------------------------
+
+void SampleSort::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  data_.reset(params_.n);
+  aux_.reset(params_.n);
+  input_.resize(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    input_[i] = rng.next_double();
+    data_[i] = input_[i];
+  }
+}
+
+Job* SampleSort::make_root() {
+  std::copy(input_.begin(), input_.end(), data_.data());
+  return sample_sort_task(data_.data(), aux_.data(), 0, params_.n,
+                          params_.scaled(16 * 1024));
+}
+
+bool SampleSort::verify() const {
+  if (!std::is_sorted(data_.data(), data_.data() + params_.n)) return false;
+  std::vector<double> expect = input_;
+  std::sort(expect.begin(), expect.end());
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (data_[i] != expect[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AwareSampleSort kernel
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One round of k-way bucketing sized for the target cache, then quicksort
+/// per bucket (paper: "moves elements into buckets that fit into the L3
+/// cache and then runs quicksort on the buckets").
+struct AwCtx {
+  double* data;
+  double* aux;
+  std::size_t n;
+  std::size_t k;                      // bucket count
+  std::size_t block;                  // histogram block size
+  std::size_t nblocks;
+  std::vector<double> splitters;        // k-1 (host-only metadata)
+  mem::Array<std::uint32_t> counts;     // nblocks * k (touched)
+  mem::Array<std::size_t> seg;          // nblocks * k offsets (touched)
+  std::vector<std::size_t> bucket_off;  // k+1
+  QuicksortLimits qs_limits;
+};
+
+}  // namespace
+
+std::uint64_t AwareSampleSort::bucket_bytes() const {
+  // Default: half of the Xeon preset's 24 MB L3, as the paper's aware sort
+  // targets L3 residence for each bucket (scaled with the machine).
+  if (params_.target_bucket_bytes != 0) return params_.target_bucket_bytes;
+  return (12ull << 20) / static_cast<std::uint64_t>(params_.machine_scale);
+}
+
+void AwareSampleSort::prepare(std::uint64_t seed) {
+  Rng rng(seed);
+  data_.reset(params_.n);
+  aux_.reset(params_.n);
+  input_.resize(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    input_[i] = rng.next_double();
+    data_[i] = input_[i];
+  }
+}
+
+Job* AwareSampleSort::make_root() {
+  std::copy(input_.begin(), input_.end(), data_.data());
+
+  auto ctx = std::make_shared<AwCtx>();
+  ctx->data = data_.data();
+  ctx->aux = aux_.data();
+  ctx->n = params_.n;
+  ctx->k = std::max<std::size_t>(
+      2, (params_.n * sizeof(double) + bucket_bytes() - 1) / bucket_bytes());
+  ctx->block = params_.scaled(64 * 1024);
+  ctx->nblocks = (ctx->n + ctx->block - 1) / ctx->block;
+  ctx->qs_limits.serial_cutoff = params_.scaled(16 * 1024);
+  ctx->qs_limits.parallel_partition_cutoff = params_.scaled(128 * 1024);
+  ctx->qs_limits.partition_block = params_.scaled(16 * 1024);
+
+  const std::uint64_t bytes = 2 * params_.n * sizeof(double);
+  return make_job(
+      [ctx](Strand& strand) {
+        // Splitters from a sorted sample of the input.
+        Rng rng(42);
+        const std::size_t sample_size = ctx->k * 64;
+        std::vector<double> sample(sample_size);
+        for (auto& s : sample) {
+          const std::size_t pos = rng.next_below(ctx->n);
+          mem::touch_read(&ctx->data[pos], sizeof(double));
+          s = ctx->data[pos];
+        }
+        std::sort(sample.begin(), sample.end());
+        charge_work(kCompareCyclesPerElem, sample_size * 6);
+        ctx->splitters.clear();
+        for (std::size_t j = 1; j < ctx->k; ++j)
+          ctx->splitters.push_back(sample[j * sample.size() / ctx->k]);
+        ctx->counts.reset(ctx->nblocks * ctx->k);
+        std::fill(ctx->counts.data(),
+                  ctx->counts.data() + ctx->nblocks * ctx->k, 0u);
+
+        // Histogram phase.
+        Job* histogram = ParallelFor::make_flat(
+            0, ctx->nblocks, 1, ctx->block * sizeof(double),
+            [ctx](std::size_t b0, std::size_t b1) {
+              for (std::size_t b = b0; b < b1; ++b) {
+                const std::size_t blo = b * ctx->block;
+                const std::size_t bhi =
+                    std::min(ctx->n, (b + 1) * ctx->block);
+                std::uint32_t* row = ctx->counts.data() + b * ctx->k;
+                for (std::size_t i = blo; i < bhi; ++i) {
+                  const std::size_t j = static_cast<std::size_t>(
+                      std::upper_bound(ctx->splitters.begin(),
+                                       ctx->splitters.end(), ctx->data[i]) -
+                      ctx->splitters.begin());
+                  ++row[j];
+                }
+                mem::touch_read(ctx->data + blo,
+                                (bhi - blo) * sizeof(double));
+                charge_work(kCompareCyclesPerElem *
+                                std::max(1.0, std::log2(static_cast<double>(
+                                                  ctx->k))),
+                            bhi - blo);
+              }
+            });
+
+        Job* prefix = make_job(
+            [ctx](Strand& s2) {
+              // Column prefix: per-(block, bucket) scatter offsets.
+              mem::touch_read(ctx->counts.data(),
+                              ctx->counts.size() * sizeof(std::uint32_t));
+              ctx->bucket_off.assign(ctx->k + 1, 0);
+              for (std::size_t j = 0; j < ctx->k; ++j) {
+                std::size_t total = 0;
+                for (std::size_t b = 0; b < ctx->nblocks; ++b)
+                  total += ctx->counts[b * ctx->k + j];
+                ctx->bucket_off[j + 1] = ctx->bucket_off[j] + total;
+              }
+              SBS_CHECK(ctx->bucket_off[ctx->k] == ctx->n);
+              std::vector<std::size_t> next(ctx->k);
+              for (std::size_t j = 0; j < ctx->k; ++j)
+                next[j] = ctx->bucket_off[j];
+              ctx->seg.reset(ctx->nblocks * ctx->k);
+              for (std::size_t b = 0; b < ctx->nblocks; ++b) {
+                for (std::size_t j = 0; j < ctx->k; ++j) {
+                  ctx->seg[b * ctx->k + j] = next[j];
+                  next[j] += ctx->counts[b * ctx->k + j];
+                }
+              }
+              mem::touch_write(ctx->seg.data(),
+                               ctx->seg.size() * sizeof(std::size_t));
+              charge_work(2.0, ctx->nblocks * ctx->k);
+
+              Job* scatter = ParallelFor::make_flat(
+                  0, ctx->nblocks, 1, 2 * ctx->block * sizeof(double),
+                  [ctx](std::size_t b0, std::size_t b1) {
+                    for (std::size_t b = b0; b < b1; ++b) {
+                      const std::size_t blo = b * ctx->block;
+                      const std::size_t bhi =
+                          std::min(ctx->n, (b + 1) * ctx->block);
+                      std::vector<std::size_t> cursor(
+                          ctx->seg.data() + b * ctx->k,
+                          ctx->seg.data() + (b + 1) * ctx->k);
+                      for (std::size_t i = blo; i < bhi; ++i) {
+                        const std::size_t j = static_cast<std::size_t>(
+                            std::upper_bound(ctx->splitters.begin(),
+                                             ctx->splitters.end(),
+                                             ctx->data[i]) -
+                            ctx->splitters.begin());
+                        // Instrument the scattered write (data-dependent).
+                        mem::touch_write(&ctx->aux[cursor[j]],
+                                         sizeof(double));
+                        ctx->aux[cursor[j]++] = ctx->data[i];
+                      }
+                      mem::touch_read(ctx->data + blo,
+                                      (bhi - blo) * sizeof(double));
+                      charge_work(kPartitionCyclesPerElem, bhi - blo);
+                    }
+                  });
+
+              Job* bucket_sorts = make_job(
+                  [ctx](Strand& s3) {
+                    std::vector<Job*> sorts;
+                    for (std::size_t j = 0; j < ctx->k; ++j) {
+                      const std::size_t blo = ctx->bucket_off[j];
+                      const std::size_t bhi = ctx->bucket_off[j + 1];
+                      if (bhi > blo) {
+                        // Quicksort the bucket in aux, using data as scratch.
+                        sorts.push_back(MakeQuicksortTask(
+                            ctx->aux, ctx->data, blo, bhi, ctx->qs_limits));
+                      }
+                    }
+                    Job* copy_back = make_job(
+                        [ctx](Strand& s4) {
+                          s4.fork({ParallelFor::make_flat(
+                                      0, ctx->n, 64 * 1024, 2 * sizeof(double),
+                                      [ctx](std::size_t i0, std::size_t i1) {
+                                        std::copy(ctx->aux + i0,
+                                                  ctx->aux + i1,
+                                                  ctx->data + i0);
+                                        mem::touch_read(
+                                            ctx->aux + i0,
+                                            (i1 - i0) * sizeof(double));
+                                        mem::touch_write(
+                                            ctx->data + i0,
+                                            (i1 - i0) * sizeof(double));
+                                        charge_work(1.0, i1 - i0);
+                                      })},
+                                  make_nop());
+                        },
+                        kNoSize, 64);
+                    if (sorts.empty()) {
+                      s3.fork({make_nop()}, copy_back);
+                    } else {
+                      s3.fork(std::move(sorts), copy_back);
+                    }
+                  },
+                  kNoSize, 64);
+              s2.fork({scatter}, bucket_sorts);
+            },
+            kNoSize,
+            /*strand_bytes=*/ctx->nblocks * ctx->k * sizeof(std::uint32_t));
+        strand.fork({histogram}, prefix);
+      },
+      bytes, /*strand_bytes=*/64);
+}
+
+bool AwareSampleSort::verify() const {
+  if (!std::is_sorted(data_.data(), data_.data() + params_.n)) return false;
+  std::vector<double> expect = input_;
+  std::sort(expect.begin(), expect.end());
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (data_[i] != expect[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace sbs::kernels

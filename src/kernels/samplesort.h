@@ -1,0 +1,61 @@
+// Sample sorts (paper §5.1).
+//
+// Samplesort: the cache-oblivious algorithm of Blelloch, Gibbons & Simhadri
+// (SPAA 2010): split the input into √n subarrays, recursively sort each,
+// pick pivots from an oversampled, sorted sample, bucket the sorted
+// subarrays by binary search ("block transpose"), and recursively sort the
+// buckets. Q*(n;M,B) = O(⌈n/B⌉ log_{2+M/B} n/B) — optimally cache-oblivious,
+// which is why the paper finds *no* scheduler-dependent L3 difference on it.
+//
+// Aware samplesort: the cache-aware variant — one round of bucketing with
+// bucket size targeted at the L3 cache, then quicksort per bucket. The
+// fastest sort in the paper's study.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "runtime/mem.h"
+
+namespace sbs::kernels {
+
+class SampleSort final : public Kernel {
+ public:
+  explicit SampleSort(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "Samplesort"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 2 * params_.n * sizeof(double);
+  }
+
+ private:
+  KernelParams params_;
+  mem::Array<double> data_;
+  mem::Array<double> aux_;
+  std::vector<double> input_;
+};
+
+class AwareSampleSort final : public Kernel {
+ public:
+  explicit AwareSampleSort(const KernelParams& params) : params_(params) {}
+
+  std::string name() const override { return "AwareSamplesort"; }
+  void prepare(std::uint64_t seed) override;
+  runtime::Job* make_root() override;
+  bool verify() const override;
+  std::uint64_t problem_bytes() const override {
+    return 2 * params_.n * sizeof(double);
+  }
+
+ private:
+  KernelParams params_;
+  std::uint64_t bucket_bytes() const;
+  mem::Array<double> data_;
+  mem::Array<double> aux_;
+  std::vector<double> input_;
+};
+
+}  // namespace sbs::kernels

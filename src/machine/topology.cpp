@@ -1,0 +1,120 @@
+#include "machine/topology.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+#include "util/table.h"
+
+namespace sbs::machine {
+
+Topology::Topology(MachineConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  const int num_levels = static_cast<int>(cfg_.levels.size());
+  leaf_depth_ = num_levels;  // leaves sit one below the last cache level
+  num_threads_ = cfg_.num_threads();
+
+  // Count nodes per depth: depth 0 has 1 node; depth d+1 has
+  // depth-d count * levels[d].fanout; leaves are depth `num_levels`.
+  std::vector<int> count(static_cast<std::size_t>(leaf_depth_) + 1, 0);
+  count[0] = 1;
+  for (int d = 0; d < num_levels; ++d) {
+    count[static_cast<std::size_t>(d) + 1] =
+        count[static_cast<std::size_t>(d)] *
+        static_cast<int>(cfg_.levels[static_cast<std::size_t>(d)].fanout);
+  }
+  SBS_CHECK(count[static_cast<std::size_t>(leaf_depth_)] == num_threads_);
+
+  int total = 0;
+  std::vector<int> depth_start(static_cast<std::size_t>(leaf_depth_) + 2, 0);
+  for (int d = 0; d <= leaf_depth_; ++d) {
+    depth_start[static_cast<std::size_t>(d)] = total;
+    total += count[static_cast<std::size_t>(d)];
+  }
+  depth_start[static_cast<std::size_t>(leaf_depth_) + 1] = total;
+  first_leaf_id_ = depth_start[static_cast<std::size_t>(leaf_depth_)];
+
+  nodes_.resize(static_cast<std::size_t>(total));
+  for (int d = 0; d <= leaf_depth_; ++d) {
+    const int start = depth_start[static_cast<std::size_t>(d)];
+    const int n = count[static_cast<std::size_t>(d)];
+    const int fanout =
+        d < num_levels
+            ? static_cast<int>(cfg_.levels[static_cast<std::size_t>(d)].fanout)
+            : 0;
+    for (int i = 0; i < n; ++i) {
+      Node& node = nodes_[static_cast<std::size_t>(start + i)];
+      node.id = start + i;
+      node.depth = d;
+      node.parent =
+          d == 0 ? -1
+                 : depth_start[static_cast<std::size_t>(d) - 1] +
+                       i / static_cast<int>(
+                               cfg_.levels[static_cast<std::size_t>(d) - 1].fanout);
+      if (fanout > 0) {
+        node.first_child =
+            depth_start[static_cast<std::size_t>(d) + 1] + i * fanout;
+        node.num_children = fanout;
+      }
+      // Leaves per subtree at depth d: product of fanouts below d.
+      int leaves = 1;
+      for (int dd = d; dd < num_levels; ++dd)
+        leaves *= static_cast<int>(cfg_.levels[static_cast<std::size_t>(dd)].fanout);
+      node.first_leaf = i * leaves;
+      node.num_leaves = leaves;
+    }
+  }
+
+  // Inverse of the core map: position -> logical thread id.
+  thread_of_position_.assign(static_cast<std::size_t>(num_threads_), -1);
+  for (int t = 0; t < num_threads_; ++t)
+    thread_of_position_[static_cast<std::size_t>(cfg_.leaf_position(t))] = t;
+}
+
+int Topology::ancestor_at_depth(int node_id, int depth) const {
+  SBS_ASSERT(depth >= 0 && depth <= node(node_id).depth);
+  int id = node_id;
+  while (node(id).depth > depth) id = node(id).parent;
+  return id;
+}
+
+std::vector<int> Topology::threads_under(int node_id) const {
+  const Node& n = node(node_id);
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n.num_leaves));
+  for (int pos = n.first_leaf; pos < n.first_leaf + n.num_leaves; ++pos)
+    out.push_back(thread_of_position_[static_cast<std::size_t>(pos)]);
+  return out;
+}
+
+bool Topology::thread_in_cluster(int thread_id, int node_id) const {
+  const Node& n = node(node_id);
+  const int pos = cfg_.leaf_position(thread_id);
+  return pos >= n.first_leaf && pos < n.first_leaf + n.num_leaves;
+}
+
+std::vector<int> Topology::nodes_at_depth(int depth) const {
+  std::vector<int> out;
+  for (const Node& n : nodes_)
+    if (n.depth == depth) out.push_back(n.id);
+  return out;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream out;
+  out << "machine '" << cfg_.name << "': " << num_threads_ << " threads, "
+      << num_cache_levels() << " cache levels\n";
+  for (int d = 0; d < leaf_depth_; ++d) {
+    const LevelSpec& lvl = cfg_.levels[static_cast<std::size_t>(d)];
+    out << "  depth " << d << " (" << lvl.name << "): "
+        << nodes_at_depth(d).size() << " unit(s), size "
+        << (lvl.size == 0 ? std::string("inf") : fmt_bytes(lvl.size))
+        << ", line " << lvl.line << "B, fanout " << lvl.fanout;
+    if (d > 0) out << ", hit " << lvl.hit_cycles << "cy";
+    out << "\n";
+  }
+  out << "  depth " << leaf_depth_ << ": " << num_threads_
+      << " hardware thread(s)\n";
+  return out.str();
+}
+
+}  // namespace sbs::machine

@@ -1,0 +1,96 @@
+// Explicit tree-of-caches topology built from a MachineConfig.
+//
+// Nodes are numbered breadth-first from the root (node 0 = main memory).
+// Depth d nodes are instances of config.levels[d]; below the last cache
+// level sit the leaves, one per hardware thread. The scheduler and the
+// simulator both navigate the machine exclusively through this class, so
+// "cluster" queries (the set of threads under a cache, paper §4.1) live here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/config.h"
+
+namespace sbs::machine {
+
+struct Node {
+  int id = -1;
+  int depth = -1;        ///< 0 = memory; depth D = leaf (hardware thread).
+  int parent = -1;       ///< -1 for the root.
+  int first_child = -1;  ///< children are contiguous: [first_child, +count).
+  int num_children = 0;
+  int first_leaf = 0;    ///< leaf positions covered by this subtree
+  int num_leaves = 0;    ///< (the node's "cluster", paper §4.1).
+};
+
+class Topology {
+ public:
+  explicit Topology(MachineConfig cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_threads() const { return num_threads_; }
+  /// Tree depth of leaf nodes (= number of levels including memory).
+  int leaf_depth() const { return leaf_depth_; }
+  /// Number of cache levels (excluding memory): leaf_depth() - 1.
+  int num_cache_levels() const { return leaf_depth_ - 1; }
+
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const LevelSpec& level_of(int node_id) const {
+    return cfg_.levels[static_cast<std::size_t>(node(node_id).depth)];
+  }
+
+  /// Root node id (main memory).
+  int root() const { return 0; }
+
+  /// Leaf node id for a left-to-right leaf position.
+  int leaf_at_position(int position) const {
+    return first_leaf_id_ + position;
+  }
+  /// Leaf node id for a logical thread id (applies the config's core map).
+  int leaf_of_thread(int thread_id) const {
+    return leaf_at_position(cfg_.leaf_position(thread_id));
+  }
+  /// Logical thread id of a leaf node.
+  int thread_of_leaf(int leaf_id) const {
+    return thread_of_position_[static_cast<std::size_t>(leaf_id - first_leaf_id_)];
+  }
+
+  /// The ancestor of `node_id` at tree depth `depth` (<= node's own depth).
+  int ancestor_at_depth(int node_id, int depth) const;
+
+  /// The ancestor cache of a logical thread at tree depth `depth`.
+  int cache_of_thread(int thread_id, int depth) const {
+    return ancestor_at_depth(leaf_of_thread(thread_id), depth);
+  }
+
+  /// The depth-1 ancestor, i.e. the socket-level cache (L3 on the Xeon).
+  int socket_of_thread(int thread_id) const {
+    return cache_of_thread(thread_id, std::min(1, leaf_depth()));
+  }
+
+  /// All logical thread ids in `node_id`'s cluster (P(X_i) in the paper).
+  std::vector<int> threads_under(int node_id) const;
+
+  /// True if `node_id` is on the root-to-leaf path of `thread_id`.
+  bool thread_in_cluster(int thread_id, int node_id) const;
+
+  /// Nodes at a given tree depth, in left-to-right order.
+  std::vector<int> nodes_at_depth(int depth) const;
+
+  /// Human-readable dump (one line per level) for examples and --verbose.
+  std::string describe() const;
+
+ private:
+  MachineConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<int> thread_of_position_;  ///< inverse of core_map
+  int num_threads_ = 0;
+  int leaf_depth_ = 0;
+  int first_leaf_id_ = 0;
+};
+
+}  // namespace sbs::machine

@@ -1,0 +1,150 @@
+#include "perf/counters.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sbs::perf {
+
+const char* EventName(Event event) {
+  switch (event) {
+    case Event::kCycles: return "cycles";
+    case Event::kInstructions: return "instructions";
+    case Event::kLlcReferences: return "LLC-references";
+    case Event::kLlcMisses: return "LLC-misses";
+  }
+  return "?";
+}
+
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+bool attr_for(Event event, perf_event_attr* attr) {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  attr->disabled = 1;
+  attr->exclude_kernel = 1;
+  attr->exclude_hv = 1;
+  attr->inherit = 1;  // count all threads of the process
+  switch (event) {
+    case Event::kCycles:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CPU_CYCLES;
+      return true;
+    case Event::kInstructions:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_INSTRUCTIONS;
+      return true;
+    case Event::kLlcReferences:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_LL |
+                     (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+      return true;
+    case Event::kLlcMisses:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_LL |
+                     (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      return true;
+  }
+  return false;
+}
+
+class PerfEventGroup final : public CounterGroup {
+ public:
+  ~PerfEventGroup() override {
+    for (const auto& [event, fd] : fds_) {
+      (void)event;
+      close(fd);
+    }
+  }
+
+  bool open(const std::vector<Event>& events, std::string* error) {
+    for (Event event : events) {
+      perf_event_attr attr;
+      if (!attr_for(event, &attr)) continue;
+      const long fd = perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                      /*group_fd=*/-1, /*flags=*/0);
+      if (fd < 0) {
+        if (error != nullptr && fds_.empty()) {
+          *error = std::string(EventName(event)) + ": " + strerror(errno);
+        }
+        continue;  // count what we can
+      }
+      fds_.emplace_back(event, static_cast<int>(fd));
+      values_.emplace_back(event, 0);
+    }
+    return !fds_.empty();
+  }
+
+  void start() override {
+    for (const auto& [event, fd] : fds_) {
+      (void)event;
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+
+  void stop() override {
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+      ioctl(fds_[i].second, PERF_EVENT_IOC_DISABLE, 0);
+      std::uint64_t v = 0;
+      if (read(fds_[i].second, &v, sizeof(v)) != sizeof(v)) v = 0;
+      values_[i].second = v;
+    }
+  }
+
+  std::uint64_t value(Event event) const override {
+    for (const auto& [e, v] : values_) {
+      if (e == event) return v;
+    }
+    return 0;
+  }
+
+  std::vector<Event> active_events() const override {
+    std::vector<Event> out;
+    out.reserve(fds_.size());
+    for (const auto& [e, fd] : fds_) {
+      (void)fd;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<Event, int>> fds_;
+  std::vector<std::pair<Event, std::uint64_t>> values_;
+};
+
+}  // namespace
+
+std::unique_ptr<CounterGroup> MakePerfEventGroup(
+    const std::vector<Event>& events, std::string* error) {
+  auto group = std::make_unique<PerfEventGroup>();
+  if (!group->open(events, error)) return nullptr;
+  return group;
+}
+
+bool PerfEventsAvailable() {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_SOFTWARE;
+  attr.config = PERF_COUNT_SW_TASK_CLOCK;
+  attr.disabled = 1;
+  const long fd = perf_event_open(&attr, 0, -1, -1, 0);
+  if (fd < 0) return false;
+  close(static_cast<int>(fd));
+  return true;
+}
+
+}  // namespace sbs::perf

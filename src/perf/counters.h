@@ -1,0 +1,55 @@
+// Hardware-counter abstraction (paper §3.3, Appendix B).
+//
+// The paper reads core PMU counters through libpfm and uncore C-Box
+// counters through Intel PCM. This module provides the same *interface*
+// against two backends:
+//   - SimCounterSource: exact counts from the PMH simulator (the default
+//     measurement vehicle in this reproduction);
+//   - PerfEventSource: Linux perf_event_open for native runs on real
+//     hardware (cycles, instructions, LLC misses/references). Containers
+//     and locked-down kernels often forbid it — availability is reported,
+//     and everything degrades gracefully to "unavailable".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sbs::perf {
+
+enum class Event {
+  kCycles,
+  kInstructions,
+  kLlcReferences,
+  kLlcMisses,
+};
+
+const char* EventName(Event event);
+
+/// A group of hardware counters for the calling thread/process.
+class CounterGroup {
+ public:
+  virtual ~CounterGroup() = default;
+  /// Begin counting (resets previous values).
+  virtual void start() = 0;
+  /// Stop counting and latch values.
+  virtual void stop() = 0;
+  /// Latched value of an event; 0 if the event was not available.
+  virtual std::uint64_t value(Event event) const = 0;
+  /// Events actually being counted (subset of the requested ones).
+  virtual std::vector<Event> active_events() const = 0;
+};
+
+/// Create a perf_event_open-backed group counting `events` on the calling
+/// process (all threads). Returns nullptr when perf events are unavailable
+/// (no syscall permission, no PMU, ...); the reason is written to `error`
+/// if non-null.
+std::unique_ptr<CounterGroup> MakePerfEventGroup(
+    const std::vector<Event>& events, std::string* error = nullptr);
+
+/// True if perf_event_open works in this environment for at least a
+/// software event (used by tests to skip gracefully).
+bool PerfEventsAvailable();
+
+}  // namespace sbs::perf

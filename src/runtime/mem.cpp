@@ -1,0 +1,89 @@
+#include "runtime/mem.h"
+
+#include <sys/mman.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sbs::mem {
+
+thread_local AccessSink* tl_sink = nullptr;
+
+namespace arena {
+namespace {
+
+constexpr std::size_t kChunk = 2ull << 20;  // 2 MB (hugepage-sized)
+constexpr std::size_t kReserve = 64ull << 30;
+// Fixed hint well away from typical heap/stack/mmap bases; if the kernel
+// cannot honor it we still get a stable base for the process lifetime.
+void* const kBaseHint = reinterpret_cast<void*>(0x7e0000000000ull);
+
+struct State {
+  std::mutex lock;
+  std::byte* base = nullptr;
+  std::size_t bump = 0;               // offset of the next fresh chunk
+  std::size_t live = 0;               // bytes currently handed out
+  std::map<std::size_t, std::vector<void*>> free_by_size;  // rounded size
+};
+
+State& state() {
+  static State s;
+  if (s.base == nullptr) {
+    void* region = mmap(kBaseHint, kReserve, PROT_NONE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    SBS_CHECK_MSG(region != MAP_FAILED, "arena reservation failed");
+    s.base = static_cast<std::byte*>(region);
+  }
+  return s;
+}
+
+std::size_t round_up(std::size_t bytes) {
+  return (bytes + kChunk - 1) / kChunk * kChunk;
+}
+
+}  // namespace
+
+void* alloc(std::size_t bytes) {
+  const std::size_t size = round_up(bytes);
+  State& s = state();
+  std::scoped_lock guard(s.lock);
+  s.live += size;
+  auto it = s.free_by_size.find(size);
+  if (it != s.free_by_size.end() && !it->second.empty()) {
+    void* ptr = it->second.back();
+    it->second.pop_back();
+    // Pages were MADV_DONTNEED'd on free; they fault back in zeroed.
+    return ptr;
+  }
+  SBS_CHECK_MSG(s.bump + size <= kReserve, "arena exhausted (64 GB)");
+  void* ptr = s.base + s.bump;
+  s.bump += size;
+  SBS_CHECK_MSG(mprotect(ptr, size, PROT_READ | PROT_WRITE) == 0,
+                "arena mprotect failed");
+  return ptr;
+}
+
+void free(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+  const std::size_t size = round_up(bytes);
+  State& s = state();
+  std::scoped_lock guard(s.lock);
+  SBS_CHECK(s.live >= size);
+  s.live -= size;
+  // Release physical pages, keep the mapping for deterministic reuse.
+  (void)madvise(ptr, size, MADV_DONTNEED);
+  s.free_by_size[size].push_back(ptr);
+}
+
+std::size_t allocated_bytes() {
+  State& s = state();
+  std::scoped_lock guard(s.lock);
+  return s.live;
+}
+
+}  // namespace arena
+
+}  // namespace sbs::mem

@@ -1,0 +1,64 @@
+// parallel_for built on fork/join (paper §3.1).
+//
+// Iterations are grouped recursively by binary splitting down to `grain`,
+// which is exactly the CGC-style recursive grouping the paper applies
+// (§4.1: "This can be simulated in our framework by grouping iterations
+// recursively (which is what we do)"). Each subrange node is an annotated
+// task, so space-bounded schedulers can anchor loop subtrees to befitting
+// caches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "runtime/job.h"
+#include "runtime/jobs.h"
+
+namespace sbs::runtime {
+
+struct ParallelFor {
+  /// Runs body(lo, hi) on subranges of [lo, hi) no larger than grain.
+  using Body = std::function<void(std::size_t, std::size_t)>;
+  /// footprint(lo, hi) — task size annotation in bytes for a subrange.
+  using SizeFn = std::function<std::uint64_t(std::size_t, std::size_t)>;
+
+  /// Build the loop job for [lo, hi). Fork it from a strand with your own
+  /// continuation:  strand.fork({ParallelFor::make(...)}, cont);
+  static Job* make(std::size_t lo, std::size_t hi, std::size_t grain,
+                   Body body, SizeFn footprint) {
+    SBS_CHECK(grain > 0);
+    return node(lo, hi, grain, std::move(body), std::move(footprint));
+  }
+
+  /// Convenience for flat footprints: bytes_per_iter * (hi - lo).
+  static Job* make_flat(std::size_t lo, std::size_t hi, std::size_t grain,
+                        std::uint64_t bytes_per_iter, Body body) {
+    return make(lo, hi, grain, std::move(body),
+                [bytes_per_iter](std::size_t l, std::size_t h) {
+                  return bytes_per_iter * (h - l);
+                });
+  }
+
+ private:
+  static Job* node(std::size_t lo, std::size_t hi, std::size_t grain,
+                   Body body, SizeFn footprint) {
+    const std::uint64_t bytes = footprint(lo, hi);
+    if (hi - lo <= grain) {
+      return make_job(
+          [lo, hi, body = std::move(body)](Strand&) { body(lo, hi); }, bytes,
+          bytes);
+    }
+    // Internal node: a small strand that forks the two halves. Its own
+    // strand touches no data, so annotate the strand as one line.
+    return make_job(
+        [lo, hi, grain, body, footprint](Strand& strand) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          strand.fork2(node(lo, mid, grain, body, footprint),
+                       node(mid, hi, grain, body, footprint), make_nop());
+        },
+        bytes, /*strand_bytes=*/64);
+  }
+};
+
+}  // namespace sbs::runtime

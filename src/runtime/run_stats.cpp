@@ -1,0 +1,18 @@
+#include "runtime/run_stats.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace sbs::runtime {
+
+std::string RunStats::summary() const {
+  std::ostringstream out;
+  out << "wall " << fmt_seconds(wall_s) << ", avg active "
+      << fmt_seconds(avg_active_s()) << ", avg overhead "
+      << fmt_seconds(avg_overhead_s()) << " (empty "
+      << fmt_seconds(avg_empty_s()) << "), " << total_strands() << " strands";
+  return out.str();
+}
+
+}  // namespace sbs::runtime

@@ -1,0 +1,55 @@
+// Execution-time breakdown, per thread and aggregated (paper §3.3).
+//
+// Time is split into five components: active (program code), add, done, get
+// (scheduler callback costs), and empty-queue (get returned nothing — the
+// load-imbalance signal). The real engine fills these from wall-clock
+// timers; the simulator fills them from virtual core clocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbs::runtime {
+
+struct ThreadBreakdown {
+  double active_s = 0;
+  double add_s = 0;
+  double done_s = 0;
+  double get_s = 0;
+  double empty_s = 0;
+  std::uint64_t strands = 0;  ///< strands executed by this thread
+
+  double overhead_s() const { return add_s + done_s + get_s + empty_s; }
+  double total_s() const { return active_s + overhead_s(); }
+};
+
+struct RunStats {
+  double wall_s = 0;  ///< wall clock (real) or makespan (virtual)
+  std::vector<ThreadBreakdown> per_thread;
+
+  double avg(double ThreadBreakdown::* field) const {
+    if (per_thread.empty()) return 0;
+    double sum = 0;
+    for (const auto& t : per_thread) sum += t.*field;
+    return sum / static_cast<double>(per_thread.size());
+  }
+  /// Active time averaged over all threads — the paper's headline number.
+  double avg_active_s() const { return avg(&ThreadBreakdown::active_s); }
+  /// Average scheduler + load-imbalance overhead (add+done+get+empty).
+  double avg_overhead_s() const {
+    double sum = 0;
+    for (const auto& t : per_thread) sum += t.overhead_s();
+    return per_thread.empty() ? 0 : sum / static_cast<double>(per_thread.size());
+  }
+  double avg_empty_s() const { return avg(&ThreadBreakdown::empty_s); }
+  std::uint64_t total_strands() const {
+    std::uint64_t n = 0;
+    for (const auto& t : per_thread) n += t.strands;
+    return n;
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace sbs::runtime

@@ -1,0 +1,52 @@
+// The scheduler interface: exactly the three callbacks of paper §3.1
+// (add / get / done) plus lifecycle and introspection hooks.
+//
+// Schedulers are concurrent modules — add/get/done may be called from any
+// worker thread (real engine) or from the event loop on behalf of any
+// virtual core (simulator). A scheduler must not block inside a callback.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/topology.h"
+#include "runtime/job.h"
+
+namespace sbs::runtime {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once before execution with the machine the program will run on
+  /// and the number of worker threads (≤ topology thread count).
+  virtual void start(const machine::Topology& topo, int num_threads) = 0;
+
+  /// Called after the root task completes; a scheduler may verify that its
+  /// internal state drained (all queues empty, occupancy zero).
+  virtual void finish() {}
+
+  /// A fork spawned `job` (once per new child task, and once for the
+  /// continuation when a join triggers). Decides where the job is queued.
+  virtual void add(Job* job, int thread_id) = 0;
+
+  /// Worker `thread_id` is idle and asks for a strand to run. May return
+  /// nullptr (the "empty queue" case, charged as load-imbalance overhead).
+  virtual Job* get(int thread_id) = 0;
+
+  /// Worker `thread_id` finished executing `job`'s strand.
+  /// `task_completed` is true when the strand ended without forking, i.e.
+  /// the job's task (and possibly, by nesting, some of its ancestors whose
+  /// joins this completion triggers) is finished.
+  virtual void done(Job* job, int thread_id, bool task_completed) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True for space-bounded schedulers, which refuse unannotated jobs.
+  virtual bool needs_size_annotations() const { return false; }
+
+  /// One-line diagnostic (steal counts, max occupancy, ...) for reports.
+  virtual std::string stats_string() const { return ""; }
+};
+
+}  // namespace sbs::runtime

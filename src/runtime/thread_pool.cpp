@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/strand_ops.h"
+#include "util/assert.h"
+
+namespace sbs::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-effort pinning of the calling thread to a host CPU. Failure is fine
+/// (containers, small hosts): correctness never depends on placement.
+void try_pin(int host_cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(host_cpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+struct alignas(64) WorkerSlot {
+  ThreadBreakdown times;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(const machine::Topology& topo, int num_threads)
+    : topo_(topo),
+      num_threads_(num_threads < 0 ? topo.num_threads() : num_threads) {
+  SBS_CHECK(num_threads_ >= 1 && num_threads_ <= topo.num_threads());
+}
+
+RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
+  sched.start(topo_, num_threads_);
+
+  StrandOps::Root root = StrandOps::make_root(root_job);
+  std::atomic<bool> finished{false};
+  std::vector<WorkerSlot> slots(static_cast<std::size_t>(num_threads_));
+
+  const auto wall_start = Clock::now();
+  sched.add(root_job, /*thread_id=*/0);
+
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  auto worker = [&](int tid) {
+    try_pin(static_cast<int>(static_cast<unsigned>(tid) % host_cpus));
+    ThreadBreakdown& bd = slots[static_cast<std::size_t>(tid)].times;
+    std::vector<Job*> to_add;
+    while (!finished.load(std::memory_order_acquire)) {
+      auto t0 = Clock::now();
+      Job* job = sched.get(tid);
+      bd.get_s += seconds_since(t0);
+      if (job == nullptr) {
+        auto t1 = Clock::now();
+        std::this_thread::yield();
+        bd.empty_s += seconds_since(t1);
+        continue;
+      }
+
+      Strand strand(tid, num_threads_);
+      auto t2 = Clock::now();
+      job->execute(strand);
+      bd.active_s += seconds_since(t2);
+      ++bd.strands;
+
+      const bool completed = !strand.forked();
+      auto t3 = Clock::now();
+      sched.done(job, tid, completed);
+      bd.done_s += seconds_since(t3);
+
+      to_add.clear();
+      bool root_completed = false;
+      StrandOps::settle(job, strand, to_add, root_completed);
+
+      auto t4 = Clock::now();
+      for (Job* a : to_add) sched.add(a, tid);
+      bd.add_s += seconds_since(t4);
+
+      if (root_completed) finished.store(true, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int tid = 1; tid < num_threads_; ++tid)
+    threads.emplace_back(worker, tid);
+  worker(0);
+  for (auto& t : threads) t.join();
+
+  RunStats stats;
+  stats.wall_s = seconds_since(wall_start);
+  stats.per_thread.reserve(slots.size());
+  for (const auto& s : slots) stats.per_thread.push_back(s.times);
+
+  sched.finish();
+  delete root.sentinel;
+  return stats;
+}
+
+}  // namespace sbs::runtime

@@ -1,0 +1,61 @@
+#include "sched/cilk_ws.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::sched {
+
+using runtime::Job;
+
+void CilkWorkStealing::start(const machine::Topology& topo, int num_threads) {
+  (void)topo;
+  num_threads_ = num_threads;
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.push_back(std::make_unique<PerThread>());
+    threads_.back()->rng = Rng(seed_ * 0x51ed + static_cast<std::uint64_t>(t));
+  }
+}
+
+void CilkWorkStealing::finish() {
+  for (const auto& t : threads_)
+    SBS_CHECK_MSG(t->deque.empty(), "CilkWS: deque not drained at finish");
+}
+
+void CilkWorkStealing::add(Job* job, int thread_id) {
+  threads_[static_cast<std::size_t>(thread_id)]->deque.push_bottom(job);
+}
+
+Job* CilkWorkStealing::get(int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  Job* job = nullptr;
+  if (self.deque.pop_bottom(&job)) return job;
+  for (int attempt = 0; attempt < steal_attempts_; ++attempt) {
+    const auto victim =
+        self.rng.next_below(static_cast<std::uint64_t>(num_threads_));
+    PerThread& v = *threads_[static_cast<std::size_t>(victim)];
+    if (&v != &self && v.deque.steal_top(&job)) {
+      ++self.steals;
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void CilkWorkStealing::done(Job* job, int thread_id, bool task_completed) {
+  (void)job;
+  (void)thread_id;
+  (void)task_completed;
+}
+
+std::string CilkWorkStealing::stats_string() const {
+  std::uint64_t steals = 0;
+  for (const auto& t : threads_) steals += t->steals;
+  std::ostringstream out;
+  out << "steals=" << steals;
+  return out.str();
+}
+
+}  // namespace sbs::sched

@@ -1,0 +1,47 @@
+// CilkWS — lock-free work stealing over Chase–Lev deques.
+//
+// Plays the role the commercial Cilk Plus runtime plays in the paper:
+// an independently engineered work-stealing scheduler used to validate
+// that the framework's WS implementation is representative (§5, Figs. 5–6).
+// Differences from WS: lock-free deques instead of two spinlocks, and a
+// bounded burst of steal attempts per get() instead of a single attempt.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.h"
+#include "sched/chase_lev.h"
+#include "util/rng.h"
+
+namespace sbs::sched {
+
+class CilkWorkStealing final : public runtime::Scheduler {
+ public:
+  explicit CilkWorkStealing(std::uint64_t seed = 1, int steal_attempts = 4)
+      : seed_(seed), steal_attempts_(steal_attempts) {}
+
+  void start(const machine::Topology& topo, int num_threads) override;
+  void finish() override;
+  void add(runtime::Job* job, int thread_id) override;
+  runtime::Job* get(int thread_id) override;
+  void done(runtime::Job* job, int thread_id, bool task_completed) override;
+  std::string name() const override { return "CilkWS"; }
+  std::string stats_string() const override;
+
+ private:
+  struct alignas(64) PerThread {
+    ChaseLevDeque<runtime::Job*> deque;
+    Rng rng{0};
+    std::uint64_t steals = 0;
+  };
+
+  std::uint64_t seed_;
+  int steal_attempts_;
+  int num_threads_ = 0;
+  std::vector<std::unique_ptr<PerThread>> threads_;
+};
+
+}  // namespace sbs::sched

@@ -1,0 +1,7 @@
+#include "sched/ops.h"
+
+namespace sbs::sched {
+
+thread_local std::uint64_t tl_ops = 0;
+
+}  // namespace sbs::sched

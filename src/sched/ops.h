@@ -1,0 +1,65 @@
+// Instrumented primitives for scheduler implementations.
+//
+// Every lock acquisition and queue operation inside a scheduler bumps a
+// thread-local operation counter. The PMH simulator converts the per-callback
+// op count into virtual cycles, so a scheduler's overhead in simulated
+// experiments is an emergent property of how much synchronization and queue
+// work it actually performs — heavier schedulers (space-bounded tree walks)
+// automatically cost more than a work-stealing deque, with no per-scheduler
+// tuning knobs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace sbs::sched {
+
+/// Scheduler operations performed by the current thread since reset.
+extern thread_local std::uint64_t tl_ops;
+
+inline void count_op(std::uint64_t n = 1) { tl_ops += n; }
+inline std::uint64_t ops_snapshot() { return tl_ops; }
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+/// Test-and-test-and-set spinlock (critical sections in schedulers are a
+/// few queue operations long; CP.20: always used through RAII guards).
+class Spinlock {
+ public:
+  void lock() {
+    count_op();
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  bool try_lock() {
+    count_op();
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard (named per CP.44).
+class SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace sbs::sched

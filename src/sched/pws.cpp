@@ -1,0 +1,55 @@
+#include "sched/pws.h"
+
+#include <map>
+
+#include "util/assert.h"
+
+namespace sbs::sched {
+
+void PriorityWorkStealing::start(const machine::Topology& topo,
+                                 int num_threads) {
+  WorkStealing::start(topo, num_threads);
+  socket_members_.clear();
+  socket_of_thread_.assign(static_cast<std::size_t>(num_threads), 0);
+  std::map<int, int> socket_index;  // socket node id -> dense index
+  for (int t = 0; t < num_threads; ++t) {
+    const int node = topo.socket_of_thread(t);
+    auto [it, inserted] =
+        socket_index.emplace(node, static_cast<int>(socket_members_.size()));
+    if (inserted) socket_members_.emplace_back();
+    socket_of_thread_[static_cast<std::size_t>(t)] = it->second;
+    socket_members_[static_cast<std::size_t>(it->second)].push_back(t);
+  }
+}
+
+int PriorityWorkStealing::steal_choice(int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  const auto& local =
+      socket_members_[static_cast<std::size_t>(
+          socket_of_thread_[static_cast<std::size_t>(thread_id)])];
+  const std::size_t n_local = local.size();
+  const std::size_t n_total = static_cast<std::size_t>(num_threads_);
+  const std::size_t n_remote = n_total - n_local;
+
+  // Weighted coin: each local candidate has weight `intra_weight_`, each
+  // remote candidate weight 1 (the caller itself stays a candidate, exactly
+  // like the paper's WS code, where a self-steal just finds an empty deque).
+  const double w_local = intra_weight_ * static_cast<double>(n_local);
+  const double w_total = w_local + static_cast<double>(n_remote);
+  if (n_remote == 0 || self.rng.next_double() * w_total < w_local) {
+    return local[self.rng.next_below(n_local)];
+  }
+  // Uniform among remote threads: skip over local ones.
+  std::uint64_t k = self.rng.next_below(n_remote);
+  for (int t = 0; t < num_threads_; ++t) {
+    if (socket_of_thread_[static_cast<std::size_t>(t)] ==
+        socket_of_thread_[static_cast<std::size_t>(thread_id)]) {
+      continue;
+    }
+    if (k-- == 0) return t;
+  }
+  SBS_CHECK_MSG(false, "PWS: remote victim selection out of range");
+  return 0;
+}
+
+}  // namespace sbs::sched

@@ -1,0 +1,387 @@
+#include "sched/sb.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::sched {
+
+using runtime::Job;
+using runtime::kNoSize;
+using runtime::Task;
+
+SpaceBounded::SpaceBounded() : SpaceBounded(Options()) {}
+
+SpaceBounded::SpaceBounded(Options options, std::uint64_t seed)
+    : options_(options), seed_(seed) {
+  SBS_CHECK_MSG(options_.sigma > 0 && options_.sigma <= 1.0,
+                "dilation sigma must be in (0,1]");
+  SBS_CHECK_MSG(options_.mu > 0 && options_.mu <= 1.0,
+                "mu must be in (0,1]");
+}
+
+void SpaceBounded::start(const machine::Topology& topo, int num_threads) {
+  topo_ = &topo;
+  num_threads_ = num_threads;
+  const int depths = topo.leaf_depth();  // cache depths are 0..depths-1
+
+  capacity_.assign(static_cast<std::size_t>(depths), 0);
+  line_.assign(static_cast<std::size_t>(depths), 64);
+  for (int d = 0; d < depths; ++d) {
+    capacity_[static_cast<std::size_t>(d)] = topo.config().levels[static_cast<std::size_t>(d)].size;
+    line_[static_cast<std::size_t>(d)] = topo.config().levels[static_cast<std::size_t>(d)].line;
+  }
+
+  nodes_.clear();
+  nodes_.reserve(static_cast<std::size_t>(topo.num_nodes()));
+  for (int id = 0; id < topo.num_nodes(); ++id) {
+    nodes_.push_back(std::make_unique<NodeState>());
+    NodeState& node = *nodes_.back();
+    node.buckets.resize(static_cast<std::size_t>(depths));
+    if (options_.distributed_top && topo.node(id).depth < depths) {
+      node.child_top.resize(
+          static_cast<std::size_t>(topo.node(id).num_children));
+    }
+  }
+
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.push_back(std::make_unique<PerThread>());
+    threads_.back()->rng = Rng(seed_ * 0x5bd1 + static_cast<std::uint64_t>(t));
+  }
+
+  anchors_at_depth_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(depths));
+}
+
+void SpaceBounded::finish() {
+  for (int id = 0; id < topo_->num_nodes(); ++id) {
+    const NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    SBS_CHECK_MSG(node.occupied.load() == 0,
+                  "SB: cache occupancy must drain to zero at finish");
+    SBS_CHECK_MSG(node.local.empty(), "SB: local queue not drained");
+    for (const auto& b : node.buckets)
+      SBS_CHECK_MSG(b.empty(), "SB: bucket not drained");
+    for (const auto& q : node.child_top)
+      SBS_CHECK_MSG(q.empty(), "SB: distributed top bucket not drained");
+  }
+}
+
+std::uint64_t SpaceBounded::task_size_at(const Job& job, int depth) const {
+  return job.size(line_[static_cast<std::size_t>(depth)]);
+}
+
+std::uint64_t SpaceBounded::strand_size_at(const Job& job, int depth) const {
+  return job.strand_size(line_[static_cast<std::size_t>(depth)]);
+}
+
+int SpaceBounded::befit_depth(const Job& job) const {
+  // Deepest (smallest) cache whose dilated capacity σM_d holds the task;
+  // the root (depth 0, infinite) always befits.
+  for (int d = topo_->num_cache_levels(); d >= 1; --d) {
+    const std::uint64_t size = task_size_at(job, d);
+    SBS_CHECK_MSG(size != kNoSize,
+                  "space-bounded schedulers require size-annotated tasks");
+    if (static_cast<double>(size) <=
+        options_.sigma * static_cast<double>(capacity_[static_cast<std::size_t>(d)])) {
+      return d;
+    }
+  }
+  return 0;
+}
+
+bool SpaceBounded::is_top_bucket(int x_node, int b) const {
+  return options_.distributed_top && b == topo_->node(x_node).depth + 1;
+}
+
+void SpaceBounded::add(Job* job, int thread_id) {
+  Task* task = job->task();
+  SBS_ASSERT(task != nullptr);
+
+  if (!job->starts_task()) {
+    // Continuation strand: queue at the cluster where the task that called
+    // the corresponding fork is anchored (paper §4.2).
+    NodeState& node = *nodes_[static_cast<std::size_t>(task->anchor)];
+    SpinGuard guard(node.lock);
+    count_op();
+    node.local.push_back(job);
+    return;
+  }
+
+  if (task->parent == nullptr) {
+    // The root task: anchored at the root of the tree by convention.
+    task->anchor = topo_->root();
+    task->size = task_size_at(*job, 0);
+    SBS_CHECK_MSG(task->size != kNoSize,
+                  "space-bounded schedulers require size-annotated tasks");
+    task->maximal = false;
+    task->attr = 0;
+    NodeState& node = *nodes_[static_cast<std::size_t>(topo_->root())];
+    SpinGuard guard(node.lock);
+    count_op();
+    node.local.push_back(job);
+    return;
+  }
+
+  const int parent_anchor = task->parent->anchor;
+  SBS_ASSERT(parent_anchor >= 0);
+  const int parent_depth = topo_->node(parent_anchor).depth;
+  const int b = befit_depth(*job);
+
+  if (b <= parent_depth) {
+    // Non-maximal: the parent's anchored cache already befits this task, so
+    // it inherits the anchor and consumes no additional space.
+    task->anchor = parent_anchor;
+    task->size = task_size_at(*job, parent_depth);
+    task->maximal = false;
+    task->attr = static_cast<std::uint64_t>(parent_depth);
+    NodeState& node = *nodes_[static_cast<std::size_t>(parent_anchor)];
+    SpinGuard guard(node.lock);
+    count_op();
+    node.local.push_back(job);
+    return;
+  }
+
+  // Maximal task: queue in the parent anchor's bucket for depth b; it will
+  // be anchored to a concrete depth-b cache when a core admits it.
+  task->maximal = true;
+  task->anchor = -1;
+  task->size = task_size_at(*job, b);
+  NodeState& node = *nodes_[static_cast<std::size_t>(parent_anchor)];
+  SpinGuard guard(node.lock);
+  count_op();
+  if (is_top_bucket(parent_anchor, b)) {
+    // SB-D: per-child distributed top bucket; enqueue at the child cluster
+    // the adding thread belongs to.
+    const int child =
+        topo_->cache_of_thread(thread_id, parent_depth + 1);
+    const int ordinal = child - topo_->node(parent_anchor).first_child;
+    node.child_top[static_cast<std::size_t>(ordinal)].push_back(job);
+  } else {
+    node.buckets[static_cast<std::size_t>(b)].push_back(job);
+  }
+}
+
+bool SpaceBounded::try_charge_path(int anchor_node, int ceiling_depth,
+                                   std::uint64_t bytes) {
+  // Charge every cache from the anchor up to (excluding) the ceiling,
+  // checking the bounded property; roll back already-charged nodes on
+  // failure. Nodes are charged bottom-up; each node's check+charge is a CAS.
+  int charged[16];
+  int n_charged = 0;
+  for (int id = anchor_node; topo_->node(id).depth > ceiling_depth;
+       id = topo_->node(id).parent) {
+    NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    const std::uint64_t cap =
+        capacity_[static_cast<std::size_t>(topo_->node(id).depth)];
+    std::uint64_t cur = node.occupied.load(std::memory_order_relaxed);
+    bool ok = false;
+    while (cur + bytes <= cap) {
+      count_op();
+      if (node.occupied.compare_exchange_weak(cur, cur + bytes,
+                                              std::memory_order_acq_rel)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      for (int i = 0; i < n_charged; ++i) {
+        nodes_[static_cast<std::size_t>(charged[i])]->occupied.fetch_sub(
+            bytes, std::memory_order_acq_rel);
+      }
+      return false;
+    }
+    bump_max(node);
+    SBS_ASSERT(n_charged < 16);
+    charged[n_charged++] = id;
+  }
+  return true;
+}
+
+void SpaceBounded::release_path(int anchor_node, int ceiling_depth,
+                                std::uint64_t bytes) {
+  for (int id = anchor_node; topo_->node(id).depth > ceiling_depth;
+       id = topo_->node(id).parent) {
+    count_op();
+    [[maybe_unused]] const std::uint64_t prev =
+        nodes_[static_cast<std::size_t>(id)]->occupied.fetch_sub(
+            bytes, std::memory_order_acq_rel);
+    SBS_ASSERT(prev >= bytes);
+  }
+}
+
+void SpaceBounded::bump_max(NodeState& node) {
+  const std::uint64_t cur = node.occupied.load(std::memory_order_relaxed);
+  std::uint64_t max = node.max_occupied.load(std::memory_order_relaxed);
+  while (cur > max &&
+         !node.max_occupied.compare_exchange_weak(max, cur,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void SpaceBounded::charge_strand(Job* job, int thread_id) {
+  Task* task = job->task();
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  const int anchor_depth = topo_->node(task->anchor).depth;
+  const int leaf = topo_->leaf_of_thread(thread_id);
+  for (int id = topo_->node(leaf).parent;
+       id != -1 && topo_->node(id).depth > anchor_depth;
+       id = topo_->node(id).parent) {
+    const int depth = topo_->node(id).depth;
+    std::uint64_t s = options_.use_strand_sizes
+                          ? strand_size_at(*job, depth)
+                          : task->size;
+    if (s == kNoSize) s = task->size;  // paper: default to the task's size
+    const std::uint64_t cap = capacity_[static_cast<std::size_t>(depth)];
+    std::uint64_t amount = s;
+    if (options_.mu_cap) {
+      amount = std::min<std::uint64_t>(
+          s, static_cast<std::uint64_t>(options_.mu *
+                                        static_cast<double>(cap)));
+    }
+    if (amount == 0) continue;
+    NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    count_op();
+    node.occupied.fetch_add(amount, std::memory_order_acq_rel);
+    bump_max(node);
+    self.strand_charges.emplace_back(id, amount);
+  }
+}
+
+bool SpaceBounded::try_anchor(Job* job, int x_node, int b, int thread_id) {
+  Task* task = job->task();
+  const int anchor = topo_->cache_of_thread(thread_id, b);
+  const int ceiling_depth = topo_->node(x_node).depth;
+  if (!try_charge_path(anchor, ceiling_depth, task->size)) return false;
+  task->anchor = anchor;
+  task->attr = static_cast<std::uint64_t>(ceiling_depth);
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  ++self.anchors;
+  anchors_at_depth_[static_cast<std::size_t>(b)].fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+Job* SpaceBounded::get(int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  const int leaf = topo_->leaf_of_thread(thread_id);
+  const int max_depth = topo_->num_cache_levels();
+
+  for (int id = topo_->node(leaf).parent; id != -1;
+       id = topo_->node(id).parent) {
+    NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    const int depth = topo_->node(id).depth;
+
+    // 1) Local strands / non-maximal tasks anchored at this cache.
+    Job* job = nullptr;
+    {
+      SpinGuard guard(node.lock);
+      count_op();
+      if (!node.local.empty()) {
+        job = node.local.back();
+        node.local.pop_back();
+      }
+    }
+    if (job != nullptr) {
+      charge_strand(job, thread_id);
+      return job;
+    }
+
+    // 2) Buckets, heaviest (closest to this cache's level) first.
+    for (int b = depth + 1; b <= max_depth; ++b) {
+      Job* candidate = nullptr;
+      {
+        SpinGuard guard(node.lock);
+        count_op();
+        if (is_top_bucket(id, b)) {
+          // Own child queue first, then siblings (WS-style).
+          const int own = topo_->cache_of_thread(thread_id, depth + 1) -
+                          topo_->node(id).first_child;
+          const int nq = static_cast<int>(node.child_top.size());
+          for (int k = 0; k < nq && candidate == nullptr; ++k) {
+            auto& q = node.child_top[static_cast<std::size_t>((own + k) % nq)];
+            if (!q.empty()) {
+              // Own child queue pops LIFO (depth-first locality); sibling
+              // queues are stolen from FIFO like a WS thief.
+              candidate = k == 0 ? q.back() : q.front();
+              if (k == 0) q.pop_back(); else q.pop_front();
+              if (k != 0) ++self.sibling_pops;
+            }
+          }
+        } else {
+          auto& bucket = node.buckets[static_cast<std::size_t>(b)];
+          if (!bucket.empty()) {
+            candidate = bucket.back();
+            bucket.pop_back();
+          }
+        }
+      }
+      if (candidate == nullptr) continue;
+      if (try_anchor(candidate, id, b, thread_id)) {
+        charge_strand(candidate, thread_id);
+        return candidate;
+      }
+      // Bounded property would be violated: put the task back and move on.
+      ++self.admission_failures;
+      SpinGuard guard(node.lock);
+      count_op();
+      if (is_top_bucket(id, b)) {
+        const int own = topo_->cache_of_thread(thread_id, depth + 1) -
+                        topo_->node(id).first_child;
+        node.child_top[static_cast<std::size_t>(own)].push_front(candidate);
+      } else {
+        node.buckets[static_cast<std::size_t>(b)].push_front(candidate);
+      }
+    }
+  }
+  return nullptr;
+}
+
+void SpaceBounded::done(Job* job, int thread_id, bool task_completed) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  for (const auto& [node_id, amount] : self.strand_charges) {
+    count_op();
+    [[maybe_unused]] const std::uint64_t prev =
+        nodes_[static_cast<std::size_t>(node_id)]->occupied.fetch_sub(
+            amount, std::memory_order_acq_rel);
+    SBS_ASSERT(prev >= amount);
+  }
+  self.strand_charges.clear();
+
+  if (task_completed) {
+    Task* task = job->task();
+    if (task->maximal && task->anchor >= 0) {
+      release_path(task->anchor, static_cast<int>(task->attr), task->size);
+    }
+  }
+}
+
+std::uint64_t SpaceBounded::occupied(int node_id) const {
+  return nodes_[static_cast<std::size_t>(node_id)]->occupied.load();
+}
+
+std::uint64_t SpaceBounded::max_occupied(int node_id) const {
+  return nodes_[static_cast<std::size_t>(node_id)]->max_occupied.load();
+}
+
+std::string SpaceBounded::stats_string() const {
+  std::uint64_t anchors = 0, failures = 0, sibling = 0;
+  for (const auto& t : threads_) {
+    anchors += t->anchors;
+    failures += t->admission_failures;
+    sibling += t->sibling_pops;
+  }
+  std::ostringstream out;
+  out << "anchors=" << anchors << " admission_failures=" << failures;
+  if (options_.distributed_top) out << " sibling_pops=" << sibling;
+  out << " anchors_by_depth=[";
+  for (std::size_t d = 0; d < anchors_at_depth_.size(); ++d) {
+    out << (d ? "," : "") << anchors_at_depth_[d].load();
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace sbs::sched

@@ -1,0 +1,128 @@
+// SB / SB-D — space-bounded schedulers (paper §4.1–§4.2).
+//
+// Terminology (paper §4.1, with tree depths instead of paper levels: depth 0
+// is the root/memory, larger depth = smaller cache):
+//   befitting cache   a depth-d cache befits task t iff
+//                     σ·M_{d+1} < S(t,B_d) ≤ σ·M_d  — i.e. the smallest
+//                     cache level whose dilated capacity holds the task.
+//   maximal task      befits a strictly deeper (smaller) level than the
+//                     level its parent is anchored to.
+//   anchored          a maximal task is bound to one concrete cache Y; all
+//                     its strands execute on cores of Y's cluster.
+//   bounded           at every cache, anchored-task sizes (plus skip-level
+//                     tasks anchored below whose parents are anchored above,
+//                     for inclusive caches) plus min(µM, strand-size) for
+//                     live foreign strands never exceed the capacity.
+//
+// Implementation (paper §4.2): every cache node owns a logical queue split
+// into per-befit-level buckets plus a local FIFO for strands and
+// non-maximal tasks. add() enqueues a spawned task at its parent's anchor
+// node, in the bucket of its befitting level. Idle cores walk their
+// root-to-leaf path from the innermost cache outwards; buckets are scanned
+// heaviest-first. Taking a maximal task anchors it to the befitting cache
+// on the taker's path, after an atomic bounded-occupancy admission over
+// every cache from the anchor up to (excluding) the parent's anchor —
+// the skip-level charge for inclusive caches. SB-D replaces each node's
+// top (heaviest) bucket with one queue per child cache to remove the
+// contention hotspot, stealing from sibling child-queues like WS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.h"
+#include "sched/ops.h"
+#include "util/rng.h"
+
+namespace sbs::sched {
+
+class SpaceBounded : public runtime::Scheduler {
+ public:
+  struct Options {
+    double sigma = 0.5;  ///< dilation parameter σ ∈ (0,1] (paper uses 0.5)
+    double mu = 0.2;     ///< strand occupancy cap µ ∈ (0,1] (paper uses 0.2)
+    bool distributed_top = false;  ///< SB-D: distribute each top bucket
+    /// Ablation A: when false, strands charge their full size (no µ cap).
+    bool mu_cap = true;
+    /// Ablation B: when false, per-strand sizes are ignored and every strand
+    /// charges its task's size (the paper notes per-strand sizes are an
+    /// optional but important optimization, §4.1).
+    bool use_strand_sizes = true;
+  };
+
+  SpaceBounded();  // default options
+  explicit SpaceBounded(Options options, std::uint64_t seed = 1);
+
+  void start(const machine::Topology& topo, int num_threads) override;
+  void finish() override;
+  void add(runtime::Job* job, int thread_id) override;
+  runtime::Job* get(int thread_id) override;
+  void done(runtime::Job* job, int thread_id, bool task_completed) override;
+  std::string name() const override {
+    return options_.distributed_top ? "SB-D" : "SB";
+  }
+  bool needs_size_annotations() const override { return true; }
+  std::string stats_string() const override;
+
+  const Options& options() const { return options_; }
+
+  /// Current occupancy of a cache node (tests assert the bounded property).
+  std::uint64_t occupied(int node_id) const;
+  /// High-water occupancy of a cache node across the run.
+  std::uint64_t max_occupied(int node_id) const;
+
+ private:
+  struct alignas(64) NodeState {
+    Spinlock lock;  ///< guards the queues below (not the occupancy counter)
+    std::atomic<std::uint64_t> occupied{0};
+    std::atomic<std::uint64_t> max_occupied{0};
+    /// local: strands (continuations) and non-maximal tasks anchored here.
+    std::deque<runtime::Job*> local;
+    /// buckets[b]: maximal tasks whose befitting depth is b (> node depth).
+    std::vector<std::deque<runtime::Job*>> buckets;
+    /// SB-D: the top bucket (b == depth+1) distributed per child.
+    std::vector<std::deque<runtime::Job*>> child_top;
+  };
+
+  struct alignas(64) PerThread {
+    /// (node id, amount) strand-occupancy charges of the running strand.
+    std::vector<std::pair<int, std::uint64_t>> strand_charges;
+    Rng rng{0};
+    std::uint64_t anchors = 0;
+    std::uint64_t admission_failures = 0;
+    std::uint64_t sibling_pops = 0;  ///< SB-D cross-child-queue pops
+  };
+
+  // --- helpers ---
+  std::uint64_t task_size_at(const runtime::Job& job, int depth) const;
+  std::uint64_t strand_size_at(const runtime::Job& job, int depth) const;
+  /// Deepest depth whose dilated capacity holds the task (0 = root).
+  int befit_depth(const runtime::Job& job) const;
+  /// Atomically charge `bytes` on every cache on `leaf_path` with depth in
+  /// (ceiling_depth, anchor_depth], checking capacity; rolls back on
+  /// failure. Returns success.
+  bool try_charge_path(int anchor_node, int ceiling_depth, std::uint64_t bytes);
+  void release_path(int anchor_node, int ceiling_depth, std::uint64_t bytes);
+  void bump_max(NodeState& node);
+  /// Charge strand occupancy below the task's anchor on this thread's path.
+  void charge_strand(runtime::Job* job, int thread_id);
+  /// Attempt to admit+anchor a maximal task popped from node X, bucket b.
+  bool try_anchor(runtime::Job* job, int x_node, int b, int thread_id);
+  bool is_top_bucket(int x_node, int b) const;
+
+  Options options_;
+  std::uint64_t seed_;
+  const machine::Topology* topo_ = nullptr;
+  int num_threads_ = 0;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::unique_ptr<PerThread>> threads_;
+  std::vector<std::uint64_t> capacity_;       ///< per-depth M_d (0 = inf)
+  std::vector<std::uint32_t> line_;           ///< per-depth B_d
+  std::vector<std::atomic<std::uint64_t>> anchors_at_depth_;
+};
+
+}  // namespace sbs::sched

@@ -1,0 +1,90 @@
+#include "sched/ws.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::sched {
+
+using runtime::Job;
+
+void WorkStealing::start(const machine::Topology& topo, int num_threads) {
+  topo_ = &topo;
+  num_threads_ = num_threads;
+  threads_.clear();
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    threads_.push_back(std::make_unique<PerThread>());
+    threads_.back()->rng = Rng(seed_ * 0x9e37 + static_cast<std::uint64_t>(t));
+  }
+}
+
+void WorkStealing::finish() {
+  for (const auto& t : threads_)
+    SBS_CHECK_MSG(t->jobs.empty(), "WS: deque not drained at finish");
+}
+
+void WorkStealing::add(Job* job, int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  SpinGuard guard(self.local_lock);
+  count_op();
+  self.jobs.push_back(job);
+}
+
+int WorkStealing::steal_choice(int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  return static_cast<int>(
+      self.rng.next_below(static_cast<std::uint64_t>(num_threads_)));
+}
+
+Job* WorkStealing::get(int thread_id) {
+  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
+  {
+    SpinGuard guard(self.local_lock);
+    if (!self.jobs.empty()) {
+      count_op();
+      Job* job = self.jobs.back();
+      self.jobs.pop_back();
+      return job;
+    }
+  }
+  // Local deque empty: steal from the top of a random victim's deque.
+  const int choice = steal_choice(thread_id);
+  PerThread& victim = *threads_[static_cast<std::size_t>(choice)];
+  SpinGuard steal_guard(victim.steal_lock);
+  SpinGuard local_guard(victim.local_lock);
+  if (!victim.jobs.empty()) {
+    count_op();
+    Job* job = victim.jobs.front();
+    victim.jobs.pop_front();
+    ++self.steals;
+    return job;
+  }
+  ++self.failed_steals;
+  return nullptr;
+}
+
+void WorkStealing::done(Job* job, int thread_id, bool task_completed) {
+  (void)job;
+  (void)thread_id;
+  (void)task_completed;
+}
+
+std::uint64_t WorkStealing::total_steals() const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_) n += t->steals;
+  return n;
+}
+
+std::string WorkStealing::stats_string() const {
+  std::uint64_t steals = 0, failed = 0;
+  for (const auto& t : threads_) {
+    steals += t->steals;
+    failed += t->failed_steals;
+  }
+  std::ostringstream out;
+  out << "steals=" << steals << " failed_steals=" << failed;
+  return out.str();
+}
+
+}  // namespace sbs::sched

@@ -1,0 +1,60 @@
+// WS — the basic work-stealing scheduler (paper §4.2 and Appendix A).
+//
+// One double-ended queue per worker. add() pushes to the bottom of the
+// calling worker's deque; get() pops from the bottom, or — when the local
+// deque is empty — picks a victim uniformly at random and steals one job
+// from the *top* of the victim's deque. Each deque has two locks: the local
+// lock taken for every operation, and a steal lock that serializes thieves
+// so that the owner's common case contends with at most one of them
+// (paper §4.2 "two-locks-per-dequeue").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.h"
+#include "sched/ops.h"
+#include "util/rng.h"
+
+namespace sbs::sched {
+
+class WorkStealing : public runtime::Scheduler {
+ public:
+  /// seed controls victim selection (deterministic experiments).
+  explicit WorkStealing(std::uint64_t seed = 1) : seed_(seed) {}
+
+  void start(const machine::Topology& topo, int num_threads) override;
+  void finish() override;
+  void add(runtime::Job* job, int thread_id) override;
+  runtime::Job* get(int thread_id) override;
+  void done(runtime::Job* job, int thread_id, bool task_completed) override;
+  std::string name() const override { return "WS"; }
+  std::string stats_string() const override;
+
+  std::uint64_t total_steals() const;
+
+ protected:
+  /// Victim choice; subclasses (PWS) override to bias by topology distance.
+  virtual int steal_choice(int thread_id);
+
+  struct alignas(64) PerThread {
+    Spinlock local_lock;
+    Spinlock steal_lock;
+    std::deque<runtime::Job*> jobs;
+    Rng rng{0};
+    std::uint64_t steals = 0;
+    std::uint64_t failed_steals = 0;
+  };
+
+  int num_threads_ = 0;
+  const machine::Topology* topo_ = nullptr;
+  std::vector<std::unique_ptr<PerThread>> threads_;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace sbs::sched

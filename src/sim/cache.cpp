@@ -1,0 +1,112 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+
+namespace sbs::sim {
+
+Cache::Cache(std::uint64_t size_bytes, std::uint32_t line_bytes,
+             std::uint32_t assoc)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), assoc_(assoc) {
+  SBS_CHECK(size_bytes_ > 0 && line_bytes_ > 0);
+  const std::uint64_t lines = size_bytes_ / line_bytes_;
+  if (assoc_ == 0 || assoc_ >= lines) {
+    assoc_ = static_cast<std::uint32_t>(lines);  // fully associative
+  }
+  num_sets_ = lines / assoc_;
+  SBS_CHECK_MSG(num_sets_ * assoc_ == lines,
+                "cache lines must divide evenly into sets");
+  SBS_CHECK_MSG((num_sets_ & (num_sets_ - 1)) == 0,
+                "number of cache sets must be a power of two");
+  ways_.assign(num_sets_ * assoc_, Way{});
+}
+
+bool Cache::probe_and_touch(std::uint64_t line, bool mark_dirty) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      Way hit = set[w];
+      if (mark_dirty) hit.dirty = true;
+      // Move to MRU (front), shifting the ways in between.
+      for (std::uint32_t i = w; i > 0; --i) set[i] = set[i - 1];
+      set[0] = hit;
+      return true;
+    }
+  }
+  return false;
+}
+
+Cache::Evicted Cache::fill(std::uint64_t line, bool dirty) {
+  Way* set = set_begin(set_index(line));
+  SBS_ASSERT(!contains(line));
+  Evicted out;
+  // Victim = LRU way (back). If any way is invalid the set is not full; use
+  // the last slot either way since invalid ways sink to the back on
+  // invalidate().
+  const Way& victim = set[assoc_ - 1];
+  if (victim.valid) {
+    out.valid = true;
+    out.line = victim.line;
+    out.dirty = victim.dirty;
+    --resident_;
+  }
+  for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
+  set[0] = Way{line, true, dirty};
+  ++resident_;
+  return out;
+}
+
+bool Cache::fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      Way hit = set[w];
+      hit.dirty = hit.dirty || dirty;
+      for (std::uint32_t i = w; i > 0; --i) set[i] = set[i - 1];
+      set[0] = hit;
+      *evicted = Evicted{};
+      return false;
+    }
+  }
+  const Way& victim = set[assoc_ - 1];
+  *evicted = Evicted{};
+  if (victim.valid) {
+    evicted->valid = true;
+    evicted->line = victim.line;
+    evicted->dirty = victim.dirty;
+    --resident_;
+  }
+  for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
+  set[0] = Way{line, true, dirty};
+  ++resident_;
+  return true;
+}
+
+bool Cache::invalidate(std::uint64_t line, bool* was_dirty) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      if (was_dirty != nullptr) *was_dirty = set[w].dirty;
+      // Shift the tail up so invalid ways stay at the back (LRU end).
+      for (std::uint32_t i = w; i + 1 < assoc_; ++i) set[i] = set[i + 1];
+      set[assoc_ - 1] = Way{};
+      --resident_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t line) const {
+  const Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) return true;
+  }
+  return false;
+}
+
+void Cache::clear() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  resident_ = 0;
+}
+
+}  // namespace sbs::sim

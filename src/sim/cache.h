@@ -1,0 +1,82 @@
+// One set-associative LRU cache instance inside the simulated PMH.
+//
+// The cache stores line addresses (byte address >> log2(line)). Sets keep
+// their ways in LRU order (front = MRU); probes and fills are O(assoc) with
+// assoc small (≤ 32 in the presets). assoc == 0 in the machine config means
+// fully associative, realized as a single set with size/line ways (only
+// sensible for the small test caches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sbs::sim {
+
+class Cache {
+ public:
+  Cache(std::uint64_t size_bytes, std::uint32_t line_bytes,
+        std::uint32_t assoc);
+
+  /// Probe for a line; on hit, update LRU and (optionally) the dirty bit.
+  bool probe_and_touch(std::uint64_t line, bool mark_dirty);
+
+  struct Evicted {
+    bool valid = false;
+    std::uint64_t line = 0;
+    bool dirty = false;
+  };
+  /// Insert a line at MRU (caller guarantees it is absent). Returns the
+  /// evicted victim, if the set was full.
+  Evicted fill(std::uint64_t line, bool dirty);
+
+  /// Combined probe+fill in one set scan: if present, touch LRU/dirty and
+  /// return false; otherwise insert and return true (victim in *evicted).
+  bool fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted);
+
+  /// Remove a line if present; reports whether it was dirty.
+  /// Returns true when the line was found.
+  bool invalidate(std::uint64_t line, bool* was_dirty);
+
+  bool contains(std::uint64_t line) const;
+
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t associativity() const { return assoc_; }
+  std::uint64_t num_sets() const { return num_sets_; }
+  /// Lines currently resident (for tests / occupancy introspection).
+  std::uint64_t resident_lines() const { return resident_; }
+
+  void clear();
+
+ private:
+  struct Way {
+    std::uint64_t line = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t set_index(std::uint64_t line) const {
+    // Lines are full addresses >> line shift; spread with a multiplicative
+    // hash so 2 MB-aligned arrays do not collide pathologically.
+    const std::uint64_t h = line * 0x9e3779b97f4a7c15ULL;
+    return (h >> 32) & (num_sets_ - 1);
+  }
+
+  Way* set_begin(std::uint64_t set) {
+    return ways_.data() + set * assoc_;
+  }
+  const Way* set_begin(std::uint64_t set) const {
+    return ways_.data() + set * assoc_;
+  }
+
+  std::uint64_t size_bytes_;
+  std::uint32_t line_bytes_;
+  std::uint32_t assoc_;
+  std::uint64_t num_sets_;
+  std::uint64_t resident_ = 0;
+  std::vector<Way> ways_;  ///< num_sets_ * assoc_, each set in LRU order
+};
+
+}  // namespace sbs::sim

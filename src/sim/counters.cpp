@@ -1,0 +1,40 @@
+#include "sim/counters.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::sim {
+
+std::string Counters::summary() const {
+  std::ostringstream out;
+  out << "accesses=" << accesses << " writes=" << writes;
+  for (std::size_t d = 1; d < level.size(); ++d) {
+    out << " L" << (level.size() - d) << "{hits=" << level[d].hits
+        << " misses=" << level[d].misses << "}";
+  }
+  out << " dram_reads=" << dram_reads << " writebacks=" << dram_writebacks
+      << " remote=" << remote_dram_accesses
+      << " queue_wait=" << queue_wait_cycles;
+  return out.str();
+}
+
+Counters& Counters::operator+=(const Counters& other) {
+  if (level.size() < other.level.size()) level.resize(other.level.size());
+  for (std::size_t d = 0; d < other.level.size(); ++d) {
+    level[d].hits += other.level[d].hits;
+    level[d].misses += other.level[d].misses;
+    level[d].evictions += other.level[d].evictions;
+    level[d].back_invalidations += other.level[d].back_invalidations;
+    level[d].coherence_invalidations += other.level[d].coherence_invalidations;
+  }
+  dram_reads += other.dram_reads;
+  dram_writebacks += other.dram_writebacks;
+  remote_dram_accesses += other.remote_dram_accesses;
+  queue_wait_cycles += other.queue_wait_cycles;
+  accesses += other.accesses;
+  writes += other.writes;
+  return *this;
+}
+
+}  // namespace sbs::sim

@@ -1,0 +1,51 @@
+// Simulated hardware counters (the stand-in for the paper's core PMU +
+// C-Box uncore counters, Appendix B). Counts are exact, not sampled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbs::sim {
+
+/// Per-cache-level aggregate counters. Index = tree depth (1 = outermost
+/// cache, e.g. L3 on the Xeon preset).
+struct LevelCounters {
+  std::uint64_t hits = 0;    ///< requests served by this level
+  std::uint64_t misses = 0;  ///< requests that probed this level and missed
+  std::uint64_t evictions = 0;
+  std::uint64_t back_invalidations = 0;  ///< inclusion-driven (parent evict)
+  std::uint64_t coherence_invalidations = 0;  ///< remote-write-driven
+
+  double miss_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(misses) /
+                                  static_cast<double>(total);
+  }
+};
+
+struct Counters {
+  std::vector<LevelCounters> level;  ///< [0] unused (memory), [1..L] caches
+
+  std::uint64_t dram_reads = 0;       ///< line fetches from memory
+  std::uint64_t dram_writebacks = 0;  ///< dirty line evictions to memory
+  std::uint64_t remote_dram_accesses = 0;  ///< home socket != accessor socket
+  std::uint64_t queue_wait_cycles = 0;     ///< total bandwidth queueing stall
+  std::uint64_t accesses = 0;              ///< total line requests
+  std::uint64_t writes = 0;
+
+  /// Misses at the outermost cache level — the paper's headline metric
+  /// ("L3 cache misses" on the Xeon preset).
+  std::uint64_t llc_misses() const {
+    return level.size() > 1 ? level[1].misses : 0;
+  }
+  std::uint64_t llc_hits() const {
+    return level.size() > 1 ? level[1].hits : 0;
+  }
+
+  std::string summary() const;
+
+  Counters& operator+=(const Counters& other);
+};
+
+}  // namespace sbs::sim

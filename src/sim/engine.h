@@ -1,0 +1,86 @@
+// SimEngine: executes a nested-parallel computation on the simulated PMH
+// machine, under an unmodified Scheduler implementation.
+//
+// Every hardware thread of the machine is a virtual core with its own
+// virtual clock. The engine repeatedly advances the core with the smallest
+// clock: an idle core performs a scheduler get() (overhead charged from the
+// instrumented op count); a core with a strand runs it inside the core's
+// fiber — each instrumented memory access walks the simulated cache
+// hierarchy and advances the clock, and the fiber yields whenever its clock
+// runs more than `skew_quantum` cycles past the slowest other core, so
+// concurrent strands interleave in bounded-skew virtual time. Strand
+// completion drives the usual done/settle/add sequence at the core's
+// current virtual time.
+//
+// Semantics are exact (strand bodies execute real C++ on host memory);
+// timing is the model documented in memory_system.h. Scheduler queue
+// *contents* are not simulated as memory traffic — callbacks are charged
+// `sched_op_cycles` per instrumented lock/queue operation instead (see
+// sched/ops.h); the paper's observation that coherence traffic from
+// scheduler bookkeeping perturbs active time is thus out of scope.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "machine/topology.h"
+#include "runtime/job.h"
+#include "runtime/run_stats.h"
+#include "runtime/scheduler.h"
+#include "sim/counters.h"
+#include "sim/memory_system.h"
+
+namespace sbs::sim {
+
+struct SimParams {
+  MemoryParams memory;
+  /// Maximum virtual-clock lead a running strand may take over the slowest
+  /// other core before being suspended.
+  std::uint64_t skew_quantum = 10000;
+  /// Worker count; -1 = all hardware threads of the machine.
+  int num_threads = -1;
+  std::size_t fiber_stack_bytes = 512 * 1024;
+};
+
+struct SimResult {
+  runtime::RunStats stats;  ///< times in seconds (cycles / GHz)
+  Counters counters;
+  std::uint64_t makespan_cycles = 0;
+  std::string sched_stats;
+
+  double llc_misses_m() const {
+    return static_cast<double>(counters.llc_misses()) / 1e6;
+  }
+};
+
+class SimEngine {
+ public:
+  SimEngine(const machine::Topology& topo, SimParams params = SimParams());
+  ~SimEngine();
+
+  /// Run the computation rooted at `root_job` (ownership transferred) under
+  /// `sched` on the simulated machine. May be called repeatedly; cache and
+  /// bandwidth state is reset between runs.
+  SimResult run(runtime::Scheduler& sched, runtime::Job* root_job);
+
+  const machine::Topology& topology() const { return topo_; }
+  MemorySystem& memory() { return *memory_; }
+
+ private:
+  struct VCore;
+  friend struct VCore;
+
+  void finish_strand(VCore& core);
+  std::uint64_t charge_ops(std::uint64_t ops_before) const;
+
+  const machine::Topology& topo_;
+  SimParams params_;
+  int num_threads_;
+  std::unique_ptr<MemorySystem> memory_;
+  std::vector<std::unique_ptr<VCore>> cores_;
+  runtime::Scheduler* sched_ = nullptr;
+  std::uint64_t horizon_ = 0;  ///< yield threshold for the running fiber
+  bool root_completed_ = false;
+};
+
+}  // namespace sbs::sim

@@ -1,0 +1,156 @@
+#include "sim/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/assert.h"
+
+#if !SBS_ASM_FIBERS
+#include <ucontext.h>
+#endif
+
+namespace sbs::sim {
+
+namespace {
+thread_local Fiber* tl_current = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return tl_current; }
+
+#if SBS_ASM_FIBERS
+
+extern "C" {
+void sbs_fiber_swap(void** save_sp, void* new_sp);
+void sbs_fiber_trampoline();
+}
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_bytes_(stack_bytes) {
+  const long page = sysconf(_SC_PAGESIZE);
+  SBS_CHECK(page > 0);
+  const std::size_t psz = static_cast<std::size_t>(page);
+  stack_bytes_ = (stack_bytes_ + psz - 1) / psz * psz;
+  // One guard page below the stack catches overflow deterministically.
+  stack_base_ = mmap(nullptr, stack_bytes_ + psz, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  SBS_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+  SBS_CHECK(mprotect(stack_base_, psz, PROT_NONE) == 0);
+  init_stack();
+}
+
+Fiber::~Fiber() {
+  SBS_CHECK_MSG(!started_ || finished_,
+                "destroying a live fiber (strand still suspended)");
+  const long page = sysconf(_SC_PAGESIZE);
+  munmap(stack_base_, stack_bytes_ + static_cast<std::size_t>(page));
+}
+
+void Fiber::init_stack() {
+  // Build the frame sbs_fiber_swap expects to pop: r15 r14 r13 r12 rbx rbp,
+  // then the trampoline as the return address. %r12 carries the entry
+  // function, %r13 the Fiber*. Alignment: after the final `ret` the
+  // trampoline runs with rsp = frame+56; its `callq *%r12` then pushes the
+  // return address, so entry() starts with rsp ≡ 8 (mod 16) as the SysV ABI
+  // requires — hence frame+56 must be 16-aligned.
+  const long page = sysconf(_SC_PAGESIZE);
+  auto top = reinterpret_cast<std::uintptr_t>(stack_base_) +
+             static_cast<std::uintptr_t>(page) + stack_bytes_;
+  top &= ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<std::uint64_t*>(top) - 7;
+  // frame[0..5]: r15 r14 r13 r12 rbx rbp; frame[6]: return address;
+  // frame+56 == top ≡ 0 (mod 16). ✓
+  std::memset(frame, 0, 7 * sizeof(std::uint64_t));
+  frame[2] = reinterpret_cast<std::uint64_t>(this);                    // r13
+  frame[3] = reinterpret_cast<std::uint64_t>(
+      reinterpret_cast<void*>(&Fiber::entry));                         // r12
+  frame[6] = reinterpret_cast<std::uint64_t>(
+      reinterpret_cast<void*>(&sbs_fiber_trampoline));
+  fiber_sp_ = frame;
+}
+
+void Fiber::resume() {
+  SBS_CHECK_MSG(!finished_, "resume() on a finished fiber");
+  SBS_CHECK_MSG(tl_current == nullptr, "resume() from inside a fiber");
+  started_ = true;
+  tl_current = this;
+  sbs_fiber_swap(&main_sp_, fiber_sp_);
+  tl_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = tl_current;
+  SBS_CHECK_MSG(self != nullptr, "yield() outside a fiber");
+  sbs_fiber_swap(&self->fiber_sp_, self->main_sp_);
+}
+
+void Fiber::entry(void* raw) {
+  auto* self = static_cast<Fiber*>(raw);
+  self->fn_();
+  self->finished_ = true;
+  // Return control forever; resume() checks finished_ first.
+  sbs_fiber_swap(&self->fiber_sp_, self->main_sp_);
+  SBS_CHECK_MSG(false, "finished fiber resumed");
+}
+
+#else  // ucontext fallback
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_bytes_(stack_bytes) {
+  stack_base_ = mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  SBS_CHECK_MSG(stack_base_ != MAP_FAILED, "fiber stack mmap failed");
+  auto* ctx = new ucontext_t;
+  auto* main_ctx = new ucontext_t;
+  SBS_CHECK(getcontext(ctx) == 0);
+  ctx->uc_stack.ss_sp = stack_base_;
+  ctx->uc_stack.ss_size = stack_bytes_;
+  ctx->uc_link = nullptr;
+  // makecontext passes ints; smuggle the pointer through thread-local state
+  // set in resume() instead.
+  makecontext(ctx, reinterpret_cast<void (*)()>(&Fiber::entry_thunk), 0);
+  context_ = ctx;
+  main_context_ = main_ctx;
+}
+
+Fiber::~Fiber() {
+  SBS_CHECK_MSG(!started_ || finished_,
+                "destroying a live fiber (strand still suspended)");
+  delete static_cast<ucontext_t*>(context_);
+  delete static_cast<ucontext_t*>(main_context_);
+  munmap(stack_base_, stack_bytes_);
+}
+
+void Fiber::resume() {
+  SBS_CHECK_MSG(!finished_, "resume() on a finished fiber");
+  SBS_CHECK_MSG(tl_current == nullptr, "resume() from inside a fiber");
+  started_ = true;
+  tl_current = this;
+  swapcontext(static_cast<ucontext_t*>(main_context_),
+              static_cast<ucontext_t*>(context_));
+  tl_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = tl_current;
+  SBS_CHECK_MSG(self != nullptr, "yield() outside a fiber");
+  swapcontext(static_cast<ucontext_t*>(self->context_),
+              static_cast<ucontext_t*>(self->main_context_));
+}
+
+void Fiber::entry(void* raw) {
+  auto* self = static_cast<Fiber*>(raw);
+  self->fn_();
+  self->finished_ = true;
+  swapcontext(static_cast<ucontext_t*>(self->context_),
+              static_cast<ucontext_t*>(self->main_context_));
+  SBS_CHECK_MSG(false, "finished fiber resumed");
+}
+
+void Fiber::entry_thunk() { entry(tl_current); }
+
+#endif
+
+}  // namespace sbs::sim

@@ -1,0 +1,123 @@
+// Flat open-addressing hash map for the coherence directory.
+//
+// The directory is the hottest simulator structure: several operations per
+// cache miss. std::unordered_map's node-per-entry allocation makes it ~10×
+// slower than this linear-probing table with backward-shift deletion
+// (no tombstones, so load stays honest under heavy insert/erase churn).
+// Keys are nonzero 64-bit line numbers; key 0 marks an empty slot.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sbs::sim {
+
+template <class V>
+class FlatMap {
+ public:
+  explicit FlatMap(std::size_t initial_capacity = 1 << 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  /// Value for `key`, default-constructed and inserted if absent.
+  V& operator[](std::uint64_t key) {
+    SBS_ASSERT(key != 0);
+    if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t i = probe_start(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return slot.value;
+      if (slot.key == 0) {
+        slot.key = key;
+        slot.value = V{};
+        ++size_;
+        return slot.value;
+      }
+      i = next(i);
+    }
+  }
+
+  /// Pointer to the value, or nullptr.
+  V* find(std::uint64_t key) {
+    SBS_ASSERT(key != 0);
+    std::size_t i = probe_start(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) return &slot.value;
+      if (slot.key == 0) return nullptr;
+      i = next(i);
+    }
+  }
+
+  /// Remove `key` if present (backward-shift deletion keeps probe chains
+  /// intact without tombstones).
+  void erase(std::uint64_t key) {
+    SBS_ASSERT(key != 0);
+    std::size_t i = probe_start(key);
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == 0) return;
+      if (slot.key == key) break;
+      i = next(i);
+    }
+    --size_;
+    std::size_t hole = i;
+    std::size_t j = next(i);
+    while (slots_[j].key != 0) {
+      const std::size_t home = probe_start(slots_[j].key);
+      // Move j back into the hole if its probe path passes through it.
+      const bool wraps = hole <= j ? (home <= hole || home > j)
+                                   : (home <= hole && home > j);
+      if (wraps) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = next(j);
+    }
+    slots_[hole] = Slot{};
+  }
+
+  void clear() {
+    for (auto& slot : slots_) slot = Slot{};
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+  };
+
+  std::size_t probe_start(std::uint64_t key) const {
+    return (key * 0x9e3779b97f4a7c15ULL) >> shift();
+  }
+  int shift() const {
+    // capacity is a power of two; use the top bits of the hash.
+    return 64 - std::countr_zero(slots_.size());
+  }
+  std::size_t next(std::size_t i) const {
+    return (i + 1) & (slots_.size() - 1);
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.key != 0) (*this)[slot.key] = slot.value;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sbs::sim

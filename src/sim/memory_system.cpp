@@ -1,0 +1,345 @@
+#include "sim/memory_system.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.h"
+
+namespace sbs::sim {
+
+namespace {
+constexpr int kMaxCacheDepth = 7;  // DirEntry::holders has 8 slots (1..7)
+}
+
+MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
+    : topo_(topo), params_(std::move(params)) {
+  const machine::MachineConfig& cfg = topo.config();
+  SBS_CHECK_MSG(topo.num_cache_levels() <= kMaxCacheDepth,
+                "simulator supports at most 7 cache levels");
+  SBS_CHECK_MSG(topo.num_threads() <= 64,
+                "simulator supports at most 64 hardware threads");
+
+  line_bytes_ = cfg.levels.back().line;
+  for (const auto& lvl : cfg.levels) {
+    SBS_CHECK_MSG(lvl.line == line_bytes_,
+                  "simulator requires a uniform line size across levels");
+  }
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(line_bytes_));
+  innermost_depth_ = topo.num_cache_levels();
+  page_lines_shift_ = static_cast<std::uint64_t>(
+      std::countr_zero(cfg.page_bytes / line_bytes_));
+
+  // One Cache per cache node (depths 1..L).
+  caches_.resize(static_cast<std::size_t>(topo.num_nodes()));
+  depth_first_id_.assign(static_cast<std::size_t>(topo.leaf_depth()) + 1, -1);
+  for (int id = 0; id < topo.num_nodes(); ++id) {
+    const machine::Node& node = topo.node(id);
+    if (depth_first_id_[static_cast<std::size_t>(node.depth)] < 0)
+      depth_first_id_[static_cast<std::size_t>(node.depth)] = id;
+    if (node.depth >= 1 && node.depth < topo.leaf_depth()) {
+      const machine::LevelSpec& lvl = topo.level_of(id);
+      caches_[static_cast<std::size_t>(id)] =
+          std::make_unique<Cache>(lvl.size, lvl.line, lvl.assoc);
+    }
+  }
+  for (int d = 1; d < topo.leaf_depth(); ++d) {
+    SBS_CHECK_MSG(topo.nodes_at_depth(d).size() <= 64,
+                  "simulator supports at most 64 caches per level");
+  }
+
+  // Per-thread path, innermost cache first.
+  thread_path_.resize(static_cast<std::size_t>(topo.num_threads()));
+  for (int t = 0; t < topo.num_threads(); ++t) {
+    for (int id = topo.node(topo.leaf_of_thread(t)).parent;
+         topo.node(id).depth >= 1; id = topo.node(id).parent) {
+      thread_path_[static_cast<std::size_t>(t)].push_back(id);
+    }
+  }
+  last_miss_line_.assign(static_cast<std::size_t>(topo.num_threads()),
+                         ~std::uint64_t{0});
+
+  const int n_sockets = static_cast<int>(topo.nodes_at_depth(1).size());
+  socket_next_free_.assign(static_cast<std::size_t>(n_sockets), 0);
+  if (params_.allowed_sockets.empty()) {
+    for (int s = 0; s < n_sockets; ++s) params_.allowed_sockets.push_back(s);
+  }
+  for (int s : params_.allowed_sockets)
+    SBS_CHECK_MSG(s >= 0 && s < n_sockets, "allowed socket out of range");
+  SBS_CHECK(params_.mlp >= 1.0);
+
+  transfer_cycles_ =
+      static_cast<double>(line_bytes_) / cfg.socket_bytes_per_cycle;
+  counters_.level.resize(static_cast<std::size_t>(topo.leaf_depth()));
+}
+
+int MemorySystem::home_socket(std::uint64_t line) const {
+  const std::uint64_t page = line >> page_lines_shift_;
+  return params_.allowed_sockets[page % params_.allowed_sockets.size()];
+}
+
+void MemorySystem::dir_set(std::uint64_t line, int depth, int ordinal) {
+  directory_[line].holders[static_cast<std::size_t>(depth)] |=
+      1ull << ordinal;
+}
+
+void MemorySystem::dir_clear(std::uint64_t line, int depth, int ordinal) {
+  DirEntry* entry = directory_.find(line);
+  if (entry == nullptr) return;
+  entry->holders[static_cast<std::size_t>(depth)] &= ~(1ull << ordinal);
+  for (std::uint64_t mask : entry->holders) {
+    if (mask != 0) return;
+  }
+  directory_.erase(line);
+}
+
+std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
+                                   bool write, std::uint64_t now) {
+  const std::uint64_t line = addr >> line_shift_;
+  const auto& path = thread_path_[static_cast<std::size_t>(thread_id)];
+  ++counters_.accesses;
+  if (write) ++counters_.writes;
+
+  // Probe inside-out. Dirtiness is tracked at the innermost level holding
+  // the line and propagates outward on eviction.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const int node_id = path[i];
+    const int depth = topo_.node(node_id).depth;
+    Cache& cache = *caches_[static_cast<std::size_t>(node_id)];
+    const bool innermost = (i == 0);
+    if (cache.probe_and_touch(line, write && innermost)) {
+      ++counters_.level[static_cast<std::size_t>(depth)].hits;
+      // Fill the inner levels we missed in (inclusive hierarchy).
+      if (i > 0) fill_path(thread_id, line, write, depth + 1, now);
+      if (write) write_invalidate(thread_id, line);
+      return topo_.level_of(node_id).hit_cycles;
+    }
+    ++counters_.level[static_cast<std::size_t>(depth)].misses;
+  }
+
+  // Miss everywhere: fetch from the home socket's memory link.
+  const int home = home_socket(line);
+  const int my_socket =
+      topo_.socket_of_thread(thread_id) - depth_first_id_[1];
+  std::uint64_t& next_free =
+      socket_next_free_[static_cast<std::size_t>(home)];
+  const std::uint64_t wait = next_free > now ? next_free - now : 0;
+  next_free = std::max(next_free, now) +
+              static_cast<std::uint64_t>(transfer_cycles_);
+  counters_.queue_wait_cycles += wait;
+  ++counters_.dram_reads;
+
+  std::uint64_t latency = 0;
+  std::uint64_t& last = last_miss_line_[static_cast<std::size_t>(thread_id)];
+  if (line != last + 1) {  // not a prefetchable streak
+    latency = static_cast<std::uint64_t>(
+        static_cast<double>(topo_.config().dram_latency_cycles) / params_.mlp);
+  }
+  last = line;
+  if (home != my_socket) {
+    latency += params_.remote_penalty_cycles;
+    ++counters_.remote_dram_accesses;
+  }
+
+  fill_path(thread_id, line, write, /*from_depth=*/1, now);
+  if (write) write_invalidate(thread_id, line);
+  return wait + static_cast<std::uint64_t>(transfer_cycles_) + latency;
+}
+
+std::uint64_t MemorySystem::access_range(int thread_id, std::uint64_t addr,
+                                         std::uint64_t bytes, bool write,
+                                         std::uint64_t now) {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  std::uint64_t cost = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    cost += access(thread_id, line << line_shift_, write, now + cost);
+  }
+  return cost;
+}
+
+void MemorySystem::fill_path(int thread_id, std::uint64_t line, bool write,
+                             int from_depth, std::uint64_t now) {
+  const auto& path = thread_path_[static_cast<std::size_t>(thread_id)];
+  // Fill outermost-first so inclusion always holds. Directory bits for the
+  // filled line are batched into one table operation at the end (eviction
+  // handling erases other entries, which may relocate slots).
+  std::uint64_t set_bits[8] = {};
+  bool any_bits = false;
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const int node_id = path[i];
+    const int depth = topo_.node(node_id).depth;
+    if (depth < from_depth) continue;
+    Cache& cache = *caches_[static_cast<std::size_t>(node_id)];
+    const bool innermost = (i == 0);
+    Cache::Evicted evicted;
+    if (!cache.fill_if_absent(line, write && innermost, &evicted)) {
+      continue;  // already present (possible when from_depth > 1)
+    }
+    if (tracked(depth)) {
+      set_bits[depth] |= 1ull << (node_id -
+                                  depth_first_id_[static_cast<std::size_t>(depth)]);
+      any_bits = true;
+    }
+    if (evicted.valid) handle_eviction(node_id, evicted, now);
+  }
+  if (any_bits) {
+    DirEntry& entry = directory_[line];
+    for (int d = 0; d < 8; ++d)
+      entry.holders[static_cast<std::size_t>(d)] |= set_bits[d];
+  }
+}
+
+void MemorySystem::invalidate_innermost_below(int parent_id,
+                                              std::uint64_t line,
+                                              int spare_node, bool* dirty,
+                                              bool coherence) {
+  const machine::Node& parent = topo_.node(parent_id);
+  for (int c = parent.first_child; c < parent.first_child + parent.num_children;
+       ++c) {
+    if (c == spare_node) continue;
+    bool inner_dirty = false;
+    if (caches_[static_cast<std::size_t>(c)]->invalidate(line, &inner_dirty)) {
+      *dirty = *dirty || inner_dirty;
+      LevelCounters& lc =
+          counters_.level[static_cast<std::size_t>(innermost_depth_)];
+      if (coherence) {
+        ++lc.coherence_invalidations;
+      } else {
+        ++lc.back_invalidations;
+      }
+    }
+  }
+}
+
+void MemorySystem::handle_eviction(int node_id, const Cache::Evicted& evicted,
+                                   std::uint64_t now) {
+  const int depth = topo_.node(node_id).depth;
+  ++counters_.level[static_cast<std::size_t>(depth)].evictions;
+
+  bool dirty = evicted.dirty;
+  if (tracked(depth)) {
+    dir_clear(evicted.line, depth,
+              node_id - depth_first_id_[static_cast<std::size_t>(depth)]);
+
+    // Inclusive hierarchy: evicting here back-invalidates every descendant
+    // cache holding the line; a dirty inner copy dirties the outgoing line.
+    DirEntry* entry = directory_.find(evicted.line);
+    if (entry != nullptr) {
+      for (int d = depth + 1; tracked(d); ++d) {
+        std::uint64_t mask = entry->holders[static_cast<std::size_t>(d)];
+        while (mask != 0) {
+          const int ord = std::countr_zero(mask);
+          mask &= mask - 1;
+          const int holder =
+              depth_first_id_[static_cast<std::size_t>(d)] + ord;
+          if (topo_.ancestor_at_depth(holder, depth) != node_id) continue;
+          bool inner_dirty = false;
+          if (caches_[static_cast<std::size_t>(holder)]->invalidate(
+                  evicted.line, &inner_dirty)) {
+            dirty = dirty || inner_dirty;
+            ++counters_.level[static_cast<std::size_t>(d)].back_invalidations;
+            dir_clear(evicted.line, d, ord);
+          }
+          // The untracked innermost copies live under this holder.
+          if (d + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
+            invalidate_innermost_below(holder, evicted.line, -1, &dirty);
+          }
+        }
+      }
+    }
+    // Direct parent of the innermost level: probe our own children.
+    if (depth + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
+      invalidate_innermost_below(node_id, evicted.line, -1, &dirty);
+    }
+  }
+
+  if (depth == 1) {
+    // Leaving the outermost cache: dirty lines are written back to memory,
+    // consuming home-link bandwidth (asynchronously: no core stall).
+    if (dirty) {
+      const int home = home_socket(evicted.line);
+      std::uint64_t& next_free =
+          socket_next_free_[static_cast<std::size_t>(home)];
+      next_free = std::max(next_free, now) +
+                  static_cast<std::uint64_t>(transfer_cycles_);
+      ++counters_.dram_writebacks;
+    }
+  } else if (dirty) {
+    // Propagate dirtiness to the parent cache, which holds the line by
+    // inclusion (unless a concurrent parent eviction raced it out — then the
+    // line is already on its way to memory via that eviction's handling).
+    const int parent = topo_.node(node_id).parent;
+    caches_[static_cast<std::size_t>(parent)]->probe_and_touch(evicted.line,
+                                                               true);
+  }
+}
+
+void MemorySystem::write_invalidate(int thread_id, std::uint64_t line) {
+  const int leaf = topo_.leaf_of_thread(thread_id);
+  // Sibling innermost caches under our own innermost parent are not in the
+  // directory: probe them directly (no-op when the innermost level is
+  // private per parent, e.g. fanout-1 L2→L1).
+  if (!tracked(innermost_depth_)) {
+    const int my_inner = topo_.ancestor_at_depth(leaf, innermost_depth_);
+    const int my_parent = topo_.node(my_inner).parent;
+    if (topo_.node(my_parent).num_children > 1) {
+      for (int c = topo_.node(my_parent).first_child;
+           c < topo_.node(my_parent).first_child +
+                   topo_.node(my_parent).num_children;
+           ++c) {
+        if (c == my_inner) continue;
+        if (caches_[static_cast<std::size_t>(c)]->invalidate(line, nullptr)) {
+          ++counters_.level[static_cast<std::size_t>(innermost_depth_)]
+                .coherence_invalidations;
+        }
+      }
+    }
+  }
+
+  DirEntry* entry = directory_.find(line);
+  if (entry == nullptr) return;
+  for (int d = 1; tracked(d); ++d) {
+    std::uint64_t mask = entry->holders[static_cast<std::size_t>(d)];
+    const int my_node = topo_.ancestor_at_depth(leaf, d);
+    const int my_ord = my_node - depth_first_id_[static_cast<std::size_t>(d)];
+    mask &= ~(1ull << my_ord);  // keep our own path's copies
+    while (mask != 0) {
+      const int ord = std::countr_zero(mask);
+      mask &= mask - 1;
+      const int holder = depth_first_id_[static_cast<std::size_t>(d)] + ord;
+      if (caches_[static_cast<std::size_t>(holder)]->invalidate(line,
+                                                                nullptr)) {
+        ++counters_.level[static_cast<std::size_t>(d)].coherence_invalidations;
+      }
+      // Remote untracked innermost copies live under this (remote) holder.
+      if (d + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
+        bool ignored = false;
+        invalidate_innermost_below(holder, line, -1, &ignored,
+                                   /*coherence=*/true);
+      }
+      dir_clear(line, d, ord);
+    }
+    // dir_clear may have erased or moved the entry; re-find per depth.
+    entry = directory_.find(line);
+    if (entry == nullptr) return;
+  }
+}
+
+std::uint64_t MemorySystem::resident_lines(int node_id) const {
+  const auto& cache = caches_[static_cast<std::size_t>(node_id)];
+  return cache ? cache->resident_lines() : 0;
+}
+
+void MemorySystem::reset() {
+  for (auto& cache : caches_) {
+    if (cache) cache->clear();
+  }
+  directory_.clear();
+  std::fill(socket_next_free_.begin(), socket_next_free_.end(), 0);
+  std::fill(last_miss_line_.begin(), last_miss_line_.end(), ~std::uint64_t{0});
+  counters_ = Counters{};
+  counters_.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+}
+
+}  // namespace sbs::sim

@@ -1,0 +1,126 @@
+// The simulated memory hierarchy: every cache of the PMH, an inclusive
+// directory, and per-socket memory controllers with finite bandwidth.
+//
+// Timing model (all values in core cycles, from MachineConfig):
+//   - hit at depth d       : levels[d].hit_cycles
+//   - DRAM miss            : queue wait + line transfer + effective latency,
+//     where the controller of the line's home socket is a FIFO link of
+//     `socket_bytes_per_cycle`; effective latency is dram_latency/mlp for
+//     isolated misses (modeling overlapped outstanding misses) and 0 for
+//     sequential-streak misses (modeling the hardware prefetcher), plus
+//     remote_penalty when the home socket differs from the accessor's.
+//   - dirty evictions from the outermost cache consume home-link bandwidth
+//     but do not stall the evicting core.
+//
+// Pages map to memory sockets round-robin over the *allowed* socket list —
+// exactly the paper's bandwidth-throttling mechanism (§5.2: numactl page
+// placement onto 1..4 sockets => 25..100% of aggregate bandwidth).
+//
+// Coherence: the hierarchy is inclusive (line in a depth-d cache is present
+// in all its ancestors). A directory tracks, per line, which cache at every
+// depth holds it; writes invalidate all copies outside the writer's path
+// (MSI-flavored, enough for race-free nested-parallel programs where only
+// false sharing and read sharing occur).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/topology.h"
+#include "sim/cache.h"
+#include "sim/counters.h"
+#include "sim/flat_map.h"
+
+namespace sbs::sim {
+
+struct MemoryParams {
+  /// Sockets whose memory links are used (page homes). Empty = all.
+  std::vector<int> allowed_sockets;
+  /// Outstanding-miss overlap factor (≥1): effective random-miss latency is
+  /// dram_latency / mlp.
+  double mlp = 4.0;
+  /// Extra cycles when the home socket is not the accessor's socket (QPI
+  /// hop on the paper's machine).
+  std::uint32_t remote_penalty_cycles = 60;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const machine::Topology& topo, MemoryParams params);
+
+  /// One line-sized access by `thread_id` at virtual time `now`.
+  /// Returns the stall cycles for this access.
+  std::uint64_t access(int thread_id, std::uint64_t addr, bool write,
+                       std::uint64_t now);
+
+  /// A contiguous range access (the common fast path): iterates lines.
+  std::uint64_t access_range(int thread_id, std::uint64_t addr,
+                             std::uint64_t bytes, bool write,
+                             std::uint64_t now);
+
+  const Counters& counters() const { return counters_; }
+  Counters& counters() { return counters_; }
+
+  /// Resident line count of a cache node (tests).
+  std::uint64_t resident_lines(int node_id) const;
+  /// Drop all cached state (between experiment repetitions).
+  void reset();
+
+  int num_sockets() const { return static_cast<int>(socket_next_free_.size()); }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  struct DirEntry {
+    // holders[d] = bitmask over the depth-d cache ordinals holding the line.
+    std::array<std::uint64_t, 8> holders{};
+  };
+
+  int home_socket(std::uint64_t line) const;
+  /// The innermost cache level is not tracked in the directory (its
+  /// fill/evict traffic dominates); inclusion lets the rare events that
+  /// need it probe the 1-2 child caches of a tracked holder directly.
+  bool tracked(int depth) const {
+    if (depth < 1 || depth > innermost_depth_) return false;
+    return depth < innermost_depth_ || innermost_depth_ == 1;
+  }
+  /// Invalidate the line from every innermost cache below `parent_id`
+  /// (optionally sparing one), propagating dirtiness and counting.
+  void invalidate_innermost_below(int parent_id, std::uint64_t line,
+                                  int spare_node, bool* dirty,
+                                  bool coherence = false);
+  void fill_path(int thread_id, std::uint64_t line, bool dirty,
+                 int from_depth, std::uint64_t now);
+  void handle_eviction(int node_id, const Cache::Evicted& evicted,
+                       std::uint64_t now);
+  void write_invalidate(int thread_id, std::uint64_t line);
+  void dir_set(std::uint64_t line, int depth, int ordinal);
+  void dir_clear(std::uint64_t line, int depth, int ordinal);
+
+  const machine::Topology& topo_;
+  MemoryParams params_;
+  std::uint32_t line_bytes_;
+  std::uint32_t line_shift_;
+  int innermost_depth_ = 1;  ///< tree depth of the innermost cache level
+  std::uint64_t page_lines_shift_;  ///< log2(lines per page)
+
+  /// Cache instance per cache node id; index aligned with topology ids
+  /// (nullptr for the root and leaves).
+  std::vector<std::unique_ptr<Cache>> caches_;
+  /// Per-depth: id of the first node at that depth (dense ordinals).
+  std::vector<int> depth_first_id_;
+  /// Per-thread root-to-leaf cache path, innermost first.
+  std::vector<std::vector<int>> thread_path_;
+  /// Per-thread last missed line (prefetch streak detection).
+  std::vector<std::uint64_t> last_miss_line_;
+
+  /// Virtual time when each socket's memory link frees up.
+  std::vector<std::uint64_t> socket_next_free_;
+  double transfer_cycles_;  ///< line transfer time on a socket link
+
+  FlatMap<DirEntry> directory_;
+  Counters counters_;
+};
+
+}  // namespace sbs::sim

@@ -1,0 +1,36 @@
+// Lightweight checked-assertion macros.
+//
+// SBS_CHECK is always on (invariants whose violation would corrupt results);
+// SBS_ASSERT compiles out in NDEBUG builds (hot-path sanity checks).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbs::detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "SBS_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sbs::detail
+
+#define SBS_CHECK(cond)                                            \
+  do {                                                             \
+    if (!(cond)) ::sbs::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SBS_CHECK_MSG(cond, msg)                                   \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::sbs::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SBS_ASSERT(cond) ((void)0)
+#else
+#define SBS_ASSERT(cond) SBS_CHECK(cond)
+#endif

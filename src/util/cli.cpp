@@ -1,0 +1,128 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs {
+
+void Cli::add(const std::string& name, Kind kind, void* target,
+              const std::string& help) {
+  SBS_CHECK_MSG(!options_.count(name), "duplicate CLI option");
+  options_[name] = Option{kind, target, help};
+}
+
+void Cli::add_flag(const std::string& name, bool* target,
+                   const std::string& help) {
+  add(name, Kind::kBool, target, help);
+}
+void Cli::add_int(const std::string& name, std::int64_t* target,
+                  const std::string& help) {
+  add(name, Kind::kInt, target, help);
+}
+void Cli::add_double(const std::string& name, double* target,
+                     const std::string& help) {
+  add(name, Kind::kDouble, target, help);
+}
+void Cli::add_string(const std::string& name, std::string* target,
+                     const std::string& help) {
+  add(name, Kind::kString, target, help);
+}
+
+bool Cli::apply(const std::string& name, const std::string& value,
+                bool has_value) {
+  auto it = options_.find(name);
+  if (it == options_.end()) {
+    std::fprintf(stderr, "%s: unknown option --%s\n%s", program_.c_str(),
+                 name.c_str(), help().c_str());
+    std::exit(2);
+  }
+  Option& opt = it->second;
+  switch (opt.kind) {
+    case Kind::kBool:
+      if (has_value) {
+        *static_cast<bool*>(opt.target) =
+            value == "1" || value == "true" || value == "yes";
+      } else {
+        *static_cast<bool*>(opt.target) = true;
+      }
+      return true;  // bool flags never consume the next argv token
+    case Kind::kInt: {
+      if (!has_value) return false;
+      char* end = nullptr;
+      *static_cast<std::int64_t*>(opt.target) =
+          std::strtoll(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                     program_.c_str(), name.c_str(), value.c_str());
+        std::exit(2);
+      }
+      return true;
+    }
+    case Kind::kDouble: {
+      if (!has_value) return false;
+      char* end = nullptr;
+      *static_cast<double*>(opt.target) = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
+                     program_.c_str(), name.c_str(), value.c_str());
+        std::exit(2);
+      }
+      return true;
+    }
+    case Kind::kString:
+      if (!has_value) return false;
+      *static_cast<std::string*>(opt.target) = value;
+      return true;
+  }
+  return false;
+}
+
+bool Cli::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", help().c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      apply(arg.substr(0, eq), arg.substr(eq + 1), /*has_value=*/true);
+    } else if (!apply(arg, "", /*has_value=*/false)) {
+      // Option wants a value from the next token.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --%s expects a value\n", program_.c_str(),
+                     arg.c_str());
+        std::exit(2);
+      }
+      apply(arg, argv[++i], /*has_value=*/true);
+    }
+  }
+  return true;
+}
+
+std::string Cli::help() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    const char* kind = "";
+    switch (opt.kind) {
+      case Kind::kBool: kind = ""; break;
+      case Kind::kInt: kind = "=<int>"; break;
+      case Kind::kDouble: kind = "=<num>"; break;
+      case Kind::kString: kind = "=<str>"; break;
+    }
+    out << "  --" << name << kind << "\n      " << opt.help << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace sbs

@@ -1,0 +1,53 @@
+// Minimal command-line flag parser shared by bench binaries and examples.
+//
+// Supports --flag (bool), --key=value and "--key value" forms, collects
+// positional arguments, and prints a generated --help. Unknown flags are an
+// error so that typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbs {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  void add_flag(const std::string& name, bool* target, const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) on --help; aborts with a
+  /// message on malformed input.
+  bool parse(int argc, char** argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::string help() const;
+
+ private:
+  enum class Kind { kBool, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+
+  void add(const std::string& name, Kind kind, void* target,
+           const std::string& help);
+  bool apply(const std::string& name, const std::string& value, bool has_value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sbs

@@ -1,0 +1,46 @@
+// Small statistics helpers used by the experiment harness.
+//
+// The paper (§5.3) reports "the average of at least 10 runs with the smallest
+// and largest readings across runs removed"; trimmed_mean implements exactly
+// that convention.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace sbs {
+
+/// Mean of the samples after dropping the single smallest and single largest
+/// value (when there are at least three samples; otherwise the plain mean).
+inline double trimmed_mean(std::vector<double> samples) {
+  SBS_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  std::size_t lo = 0, hi = samples.size();
+  if (samples.size() >= 3) {
+    ++lo;
+    --hi;
+  }
+  double sum = 0;
+  for (std::size_t i = lo; i < hi; ++i) sum += samples[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+inline double mean(const std::vector<double>& samples) {
+  SBS_CHECK(!samples.empty());
+  double sum = 0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+inline double stddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0;
+  const double m = mean(samples);
+  double acc = 0;
+  for (double s : samples) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+}  // namespace sbs

@@ -1,0 +1,95 @@
+// Tests for the experiment harness: matrix shape, verification wiring,
+// bandwidth sweeps, and figure-table rendering.
+#include <gtest/gtest.h>
+
+#include "harness/bench_cli.h"
+#include "harness/experiment.h"
+
+namespace sbs::harness {
+namespace {
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.kernel = "rrm";
+  spec.machine = "mini";
+  spec.params.n = 30000;
+  spec.params.base = 512;
+  spec.schedulers = {"WS", "SB"};
+  spec.repetitions = 2;
+  return spec;
+}
+
+TEST(Harness, MatrixShapeAndOrdering) {
+  ExperimentSpec spec = small_spec();
+  spec.bandwidth_sockets = {2, 1};
+  const auto results = RunExperiment(spec, /*progress=*/false);
+  ASSERT_EQ(results.size(), 4u);  // 2 bandwidths x 2 schedulers
+  EXPECT_EQ(results[0].bw_sockets, 2);
+  EXPECT_EQ(results[0].scheduler, "WS");
+  EXPECT_EQ(results[1].scheduler, "SB");
+  EXPECT_EQ(results[2].bw_sockets, 1);
+  for (const auto& c : results) {
+    EXPECT_TRUE(c.verified);
+    EXPECT_GT(c.active_s, 0.0);
+    EXPECT_GT(c.llc_misses, 0.0);
+    EXPECT_EQ(c.total_sockets, 2);
+  }
+  EXPECT_DOUBLE_EQ(results[0].bw_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(results[2].bw_fraction(), 0.5);
+}
+
+TEST(Harness, DefaultSweepIsFullBandwidth) {
+  const auto results = RunExperiment(small_spec(), false);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].bw_sockets, 2);  // all of mini's sockets
+}
+
+TEST(Harness, LessBandwidthNeverSpeedsUpMemoryBoundRuns) {
+  ExperimentSpec spec = small_spec();
+  spec.params.n = 60000;
+  spec.schedulers = {"WS"};
+  spec.bandwidth_sockets = {2, 1};
+  const auto results = RunExperiment(spec, false);
+  const double full = results[0].active_s;
+  const double half = results[1].active_s;
+  EXPECT_GE(half, full * 0.99);
+}
+
+TEST(Harness, FigureTableHasRowPerCell) {
+  const auto results = RunExperiment(small_spec(), false);
+  const Table table = MakeFigureTable("test", results);
+  EXPECT_EQ(table.num_rows(), results.size());
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("WS"), std::string::npos);
+  EXPECT_NE(text.find("SB"), std::string::npos);
+  EXPECT_NE(text.find("100% b/w"), std::string::npos);
+}
+
+TEST(BenchCli, ScaleOfPreset) {
+  EXPECT_EQ(BenchOptions::ScaleOfPreset("xeon7560"), 1);
+  EXPECT_EQ(BenchOptions::ScaleOfPreset("xeon7560_s8"), 8);
+  EXPECT_EQ(BenchOptions::ScaleOfPreset("xeon7560_s8_ht"), 8);
+  EXPECT_EQ(BenchOptions::ScaleOfPreset("xeon7560_s16_4x2"), 16);
+  EXPECT_EQ(BenchOptions::ScaleOfPreset("mini"), 1);
+}
+
+TEST(BenchCli, DefaultsAndOverrides) {
+  BenchOptions opts;
+  EXPECT_EQ(opts.repetitions(), 2);
+  EXPECT_EQ(opts.machine_for(), "xeon7560_s8");
+  EXPECT_EQ(opts.machine_for("_ht"), "xeon7560_s8_ht");
+  EXPECT_EQ(opts.problem_n(100, 1000), 100u);
+  opts.full = true;
+  EXPECT_EQ(opts.repetitions(), 10);
+  EXPECT_EQ(opts.machine_for(), "xeon7560");
+  EXPECT_EQ(opts.problem_n(100, 1000), 1000u);
+  opts.n = 7;
+  opts.reps = 4;
+  opts.machine = "mini";
+  EXPECT_EQ(opts.problem_n(100, 1000), 7u);
+  EXPECT_EQ(opts.repetitions(), 4);
+  EXPECT_EQ(opts.machine_for(), "mini");
+}
+
+}  // namespace
+}  // namespace sbs::harness

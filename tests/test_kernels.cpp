@@ -1,0 +1,187 @@
+// Correctness tests for the seven benchmark kernels (paper §5.1): every
+// kernel must produce verifiably correct output under every scheduler, on
+// both the real thread-pool engine and the PMH simulator.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/kernel.h"
+#include "kernels/matmul.h"
+#include "kernels/quadtree.h"
+#include "kernels/quicksort.h"
+#include "machine/topology.h"
+#include "runtime/thread_pool.h"
+#include "sched/registry.h"
+#include "sim/engine.h"
+
+namespace sbs::kernels {
+namespace {
+
+using machine::Preset;
+using machine::Topology;
+using sched::MakeScheduler;
+
+KernelParams small_params(const std::string& kernel) {
+  KernelParams p;
+  if (kernel == "matmul") {
+    p.n = 256;  // order: recursion depth 1 above the 128 base
+  } else if (kernel == "quicksort" || kernel == "samplesort" ||
+             kernel == "aware-samplesort") {
+    p.n = 200000;  // crosses the 16K serial and 128K partition thresholds
+    p.target_bucket_bytes = 64 * 1024;  // several buckets even at this size
+  } else if (kernel == "quadtree") {
+    p.n = 120000;  // crosses the 16K sequential threshold
+  } else {
+    p.n = 100000;  // rrm / rrg
+    p.base = 1024;
+  }
+  return p;
+}
+
+class KernelSched
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    All, KernelSched,
+    ::testing::Combine(::testing::Values("rrm", "rrg", "quicksort",
+                                         "samplesort", "aware-samplesort",
+                                         "quadtree", "matmul"),
+                       ::testing::Values("WS", "PWS", "CilkWS", "SB", "SB-D")),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(KernelSched, CorrectOnRealThreads) {
+  const auto& [kernel_name, sched_name] = GetParam();
+  auto kernel = MakeKernel(kernel_name, small_params(kernel_name));
+  kernel->prepare(/*seed=*/12345);
+
+  const Topology topo(Preset("mini"));
+  auto sched = MakeScheduler(sched_name);
+  runtime::ThreadPool pool(topo);
+  const runtime::RunStats stats = pool.run(*sched, kernel->make_root());
+  EXPECT_TRUE(kernel->verify()) << kernel_name << " under " << sched_name;
+  EXPECT_GT(stats.total_strands(), 10u);
+}
+
+TEST_P(KernelSched, CorrectOnSimulator) {
+  const auto& [kernel_name, sched_name] = GetParam();
+  KernelParams params = small_params(kernel_name);
+  // Keep simulated runs quick: shrink the non-matmul problems.
+  if (kernel_name != "matmul") params.n = params.n / 2;
+  auto kernel = MakeKernel(kernel_name, params);
+  kernel->prepare(/*seed=*/777);
+
+  const Topology topo(Preset("mini_deep"));
+  auto sched = MakeScheduler(sched_name);
+  sim::SimEngine engine(topo);
+  const sim::SimResult result = engine.run(*sched, kernel->make_root());
+  EXPECT_TRUE(kernel->verify()) << kernel_name << " under " << sched_name;
+  EXPECT_GT(result.counters.accesses, 0u);
+  EXPECT_GT(result.makespan_cycles, 0u);
+}
+
+TEST(Kernels, RepeatedRunsAreRepeatable) {
+  // make_root() must reset outputs so a kernel can be re-run (the harness
+  // runs ≥10 repetitions per configuration).
+  for (const auto& name : KernelNames()) {
+    auto kernel = MakeKernel(name, small_params(name));
+    kernel->prepare(1);
+    const Topology topo(Preset("mini"));
+    auto sched = MakeScheduler("WS");
+    runtime::ThreadPool pool(topo, 2);
+    for (int round = 0; round < 2; ++round) {
+      pool.run(*sched, kernel->make_root());
+      EXPECT_TRUE(kernel->verify()) << name << " round " << round;
+    }
+  }
+}
+
+TEST(Kernels, PrepareIsDeterministicInSeed) {
+  // Two kernels with the same seed and the same allocation sequence (the
+  // arena recycles the first kernel's chunks at identical addresses) must
+  // simulate cycle-identically.
+  const Topology topo(Preset("mini"));
+  auto simulate = [&topo] {
+    auto kernel = MakeKernel("quicksort", small_params("quicksort"));
+    kernel->prepare(42);
+    auto sched = MakeScheduler("WS");
+    sim::SimEngine engine(topo);
+    return engine.run(*sched, kernel->make_root());
+  };
+  const auto r1 = simulate();
+  const auto r2 = simulate();
+  EXPECT_EQ(r1.makespan_cycles, r2.makespan_cycles);
+  EXPECT_EQ(r1.counters.llc_misses(), r2.counters.llc_misses());
+}
+
+TEST(Kernels, QuadTreeShapeIsSane) {
+  KernelParams params = small_params("quadtree");
+  QuadTree qt(params);
+  qt.prepare(3);
+  const Topology topo(Preset("mini"));
+  auto sched = MakeScheduler("WS");
+  runtime::ThreadPool pool(topo);
+  pool.run(*sched, qt.make_root());
+  ASSERT_TRUE(qt.verify());
+  const QuadNode* root = qt.root_node();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->count, params.n);
+  EXPECT_FALSE(root->leaf);  // 120K points certainly split
+  // With uniform points, all four quadrants are non-trivial.
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(root->child[q]->count, params.n / 10);
+  }
+}
+
+TEST(Kernels, MatMulAgainstNaiveExhaustively) {
+  KernelParams params;
+  params.n = 64;  // below the base-case size: exercises base dgemm alone
+  MatMul mm(params);
+  mm.prepare(5);
+  const Topology topo(Preset("mini"));
+  auto sched = MakeScheduler("WS");
+  runtime::ThreadPool pool(topo, 1);
+  pool.run(*sched, mm.make_root());
+  EXPECT_TRUE(mm.verify());
+}
+
+TEST(Kernels, SortsHandleAdversarialInputs) {
+  // Already-sorted, reverse-sorted, and all-equal inputs stress pivot
+  // selection and the empty-left-partition guard.
+  struct Case {
+    const char* label;
+    std::function<double(std::size_t, std::size_t)> gen;
+  };
+  const Case cases[] = {
+      {"sorted", [](std::size_t i, std::size_t) { return double(i); }},
+      {"reverse", [](std::size_t i, std::size_t n) { return double(n - i); }},
+      {"equal", [](std::size_t, std::size_t) { return 1.0; }},
+      {"two-values", [](std::size_t i, std::size_t) { return double(i % 2); }},
+  };
+  const Topology topo(Preset("mini"));
+  for (const auto& c : cases) {
+    constexpr std::size_t kN = 150000;
+    mem::Array<double> data(kN), aux(kN);
+    for (std::size_t i = 0; i < kN; ++i) data[i] = c.gen(i, kN);
+    auto sched = MakeScheduler("WS");
+    runtime::ThreadPool pool(topo);
+    pool.run(*sched, MakeQuicksortTask(data.data(), aux.data(), 0, kN));
+    EXPECT_TRUE(std::is_sorted(data.data(), data.data() + kN)) << c.label;
+  }
+}
+
+TEST(Kernels, ProblemBytesReportsFootprint) {
+  for (const auto& name : KernelNames()) {
+    auto kernel = MakeKernel(name, small_params(name));
+    EXPECT_GT(kernel->problem_bytes(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sbs::kernels

@@ -1,0 +1,179 @@
+// Unit tests for the simulated memory hierarchy: hit/miss placement,
+// inclusion, coherence invalidation, writebacks, bandwidth queueing, and the
+// page→socket bandwidth throttle.
+#include <gtest/gtest.h>
+
+#include "machine/topology.h"
+#include "sim/memory_system.h"
+
+namespace sbs::sim {
+namespace {
+
+using machine::Preset;
+using machine::Topology;
+
+class MemSys : public ::testing::Test {
+ protected:
+  // mini: 2 sockets × 2 cores; L2 64 KB shared per socket, L1 4 KB private;
+  // 4 KB pages; dram latency 100, 8 B/cycle per socket link.
+  Topology topo{Preset("mini")};
+  MemoryParams params;
+};
+
+TEST_F(MemSys, FirstTouchMissesThenHitsInL1) {
+  MemorySystem mem(topo, params);
+  const std::uint64_t c1 = mem.access(0, 0x100000, false, 0);
+  EXPECT_EQ(mem.counters().dram_reads, 1u);
+  const std::uint64_t c2 = mem.access(0, 0x100000, false, c1);
+  EXPECT_EQ(mem.counters().dram_reads, 1u);
+  EXPECT_EQ(c2, topo.config().levels[2].hit_cycles);  // L1 hit
+  EXPECT_GT(c1, c2);
+  EXPECT_EQ(mem.counters().level[2].hits, 1u);
+  EXPECT_EQ(mem.counters().level[1].hits, 0u);
+}
+
+TEST_F(MemSys, SameSocketNeighborHitsInSharedL2) {
+  MemorySystem mem(topo, params);
+  mem.access(0, 0x200000, false, 0);
+  // Thread 1 shares thread 0's socket-level L2 in the mini preset.
+  const std::uint64_t cost = mem.access(1, 0x200000, false, 0);
+  EXPECT_EQ(cost, topo.config().levels[1].hit_cycles);  // L2 hit
+  EXPECT_EQ(mem.counters().dram_reads, 1u);
+  // After the hit, the line was filled into thread 1's L1 too.
+  EXPECT_EQ(mem.access(1, 0x200000, false, 0),
+            topo.config().levels[2].hit_cycles);
+}
+
+TEST_F(MemSys, RemoteSocketMissesSeparately) {
+  MemorySystem mem(topo, params);
+  mem.access(0, 0x300000, false, 0);
+  // Thread 2 is on the other socket: its L2 does not have the line.
+  mem.access(2, 0x300000, false, 0);
+  EXPECT_EQ(mem.counters().dram_reads, 2u);
+}
+
+TEST_F(MemSys, WriteInvalidatesRemoteCopies) {
+  MemorySystem mem(topo, params);
+  mem.access(0, 0x400000, false, 0);
+  mem.access(2, 0x400000, false, 0);  // both sockets now share the line
+  EXPECT_EQ(mem.counters().dram_reads, 2u);
+
+  mem.access(0, 0x400000, true, 0);  // write by thread 0
+  EXPECT_GT(mem.counters().level[1].coherence_invalidations +
+                mem.counters().level[2].coherence_invalidations,
+            0u);
+  // Thread 2 must now re-fetch from memory (its copies were invalidated).
+  mem.access(2, 0x400000, false, 0);
+  EXPECT_EQ(mem.counters().dram_reads, 3u);
+}
+
+TEST_F(MemSys, DirtyEvictionWritesBack) {
+  MemorySystem mem(topo, params);
+  const std::uint64_t base = 0x10000000;
+  mem.access(0, base, true, 0);  // dirty in L1
+  // Stream enough distinct lines through to evict `base` from every level
+  // of thread 0's path (L1 4 KB, L2 64 KB ⇒ 1024+ lines suffice).
+  for (std::uint64_t i = 1; i <= 4096; ++i) {
+    mem.access(0, base + i * 64, false, 0);
+  }
+  EXPECT_GE(mem.counters().dram_writebacks, 1u);
+}
+
+TEST_F(MemSys, InclusionBackInvalidatesHotL1Line) {
+  MemorySystem mem(topo, params);
+  const std::uint64_t hot = 0x20000000;
+  mem.access(0, hot, false, 0);
+  // Keep `hot` MRU in L1 (L1 hits do not refresh the L2 LRU) while streaming
+  // enough lines through to evict it from the shared L2. Inclusion then
+  // forces a back-invalidation of the L1 copy...
+  for (std::uint64_t i = 1; i <= 8192; ++i) {
+    mem.access(0, hot + i * 64, false, 0);
+    if (i % 8 == 0) mem.access(0, hot, false, 0);
+  }
+  EXPECT_GT(mem.counters().level[1].evictions, 0u);
+  EXPECT_GT(mem.counters().level[2].back_invalidations, 0u);
+  // ...and the very next touch of `hot` re-fills L2 (an L1 hit with the L2
+  // copy gone would break inclusion): it must not be an L1 hit.
+  const std::uint64_t l1_hits = mem.counters().level[2].hits;
+  for (std::uint64_t i = 1; i <= 2048; ++i)
+    mem.access(0, 0x40000000 + i * 64, false, 0);
+  const std::uint64_t cost = mem.access(0, hot, false, 0);
+  EXPECT_GT(cost, topo.config().levels[2].hit_cycles);
+  (void)l1_hits;
+}
+
+TEST_F(MemSys, SequentialStreakSkipsLatency) {
+  MemorySystem mem(topo, params);
+  const std::uint64_t first = mem.access(0, 0x500000, false, 0);
+  const std::uint64_t second = mem.access(0, 0x500040, false, 1000000);
+  // Second access is the next line: prefetch streak, no latency component.
+  EXPECT_LT(second, first);
+}
+
+TEST_F(MemSys, BandwidthQueueingDelaysBursts) {
+  MemorySystem mem(topo, params);
+  // Many threads hammering lines homed on one socket at the same virtual
+  // time must see growing queue delays.
+  params.allowed_sockets = {0};
+  MemorySystem throttled(topo, params);
+  for (int i = 0; i < 64; ++i) {
+    throttled.access(i % 4, 0x30000000 + static_cast<std::uint64_t>(i) * 64,
+                     false, /*now=*/0);
+  }
+  EXPECT_GT(throttled.counters().queue_wait_cycles, 0u);
+}
+
+TEST_F(MemSys, PageHomesRespectAllowedSockets) {
+  params.allowed_sockets = {1};
+  MemorySystem mem(topo, params);
+  // All misses from socket 0 to socket-1-homed pages are remote.
+  mem.access(0, 0x600000, false, 0);
+  mem.access(0, 0x604000, false, 0);  // different 4 KB page
+  EXPECT_EQ(mem.counters().remote_dram_accesses, 2u);
+  // And from socket 1 they are local.
+  mem.access(2, 0x7000000, false, 0);
+  EXPECT_EQ(mem.counters().remote_dram_accesses, 2u);
+}
+
+TEST_F(MemSys, AccessRangeCountsEveryLine) {
+  MemorySystem mem(topo, params);
+  mem.access_range(0, 0x800000, 64 * 10, false, 0);
+  EXPECT_EQ(mem.counters().accesses, 10u);
+  // Unaligned range spanning a line boundary touches both lines.
+  mem.access_range(0, 0x900020, 64, false, 0);
+  EXPECT_EQ(mem.counters().accesses, 12u);
+}
+
+TEST_F(MemSys, ResetClearsState) {
+  MemorySystem mem(topo, params);
+  mem.access(0, 0xa00000, true, 0);
+  mem.reset();
+  EXPECT_EQ(mem.counters().accesses, 0u);
+  mem.access(0, 0xa00000, false, 0);
+  EXPECT_EQ(mem.counters().dram_reads, 1u);  // miss again after reset
+}
+
+TEST_F(MemSys, CapacityShapesL2Misses) {
+  // Working set ≤ L2 ⇒ second sweep all L2-or-better hits.
+  // Working set = 4× L2 ⇒ second sweep keeps missing at L2.
+  MemorySystem mem(topo, params);
+  const std::uint64_t l2 = topo.config().levels[1].size;
+
+  auto sweep = [&](std::uint64_t base, std::uint64_t bytes) {
+    for (std::uint64_t off = 0; off < bytes; off += 64)
+      mem.access(0, base + off, false, 0);
+  };
+  sweep(0x40000000, l2 / 2);
+  const std::uint64_t misses_before = mem.counters().level[1].misses;
+  sweep(0x40000000, l2 / 2);
+  EXPECT_EQ(mem.counters().level[1].misses, misses_before);
+
+  mem.reset();
+  sweep(0x50000000, l2 * 4);
+  const std::uint64_t m1 = mem.counters().level[1].misses;
+  sweep(0x50000000, l2 * 4);
+  EXPECT_GT(mem.counters().level[1].misses, m1 + (l2 * 2) / 64);
+}
+
+}  // namespace
+}  // namespace sbs::sim
