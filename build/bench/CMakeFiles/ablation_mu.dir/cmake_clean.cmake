@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mu.dir/ablation_mu.cpp.o"
+  "CMakeFiles/ablation_mu.dir/ablation_mu.cpp.o.d"
+  "ablation_mu"
+  "ablation_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strand_size.dir/ablation_strand_size.cpp.o"
+  "CMakeFiles/ablation_strand_size.dir/ablation_strand_size.cpp.o.d"
+  "ablation_strand_size"
+  "ablation_strand_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strand_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

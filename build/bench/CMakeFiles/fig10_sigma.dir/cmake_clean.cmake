@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sigma.dir/fig10_sigma.cpp.o"
+  "CMakeFiles/fig10_sigma.dir/fig10_sigma.cpp.o.d"
+  "fig10_sigma"
+  "fig10_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rrm.dir/fig5_rrm.cpp.o"
+  "CMakeFiles/fig5_rrm.dir/fig5_rrm.cpp.o.d"
+  "fig5_rrm"
+  "fig5_rrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

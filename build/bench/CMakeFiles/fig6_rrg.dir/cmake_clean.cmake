@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rrg.dir/fig6_rrg.cpp.o"
+  "CMakeFiles/fig6_rrg.dir/fig6_rrg.cpp.o.d"
+  "fig6_rrg"
+  "fig6_rrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

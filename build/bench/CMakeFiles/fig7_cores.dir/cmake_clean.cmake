@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cores.dir/fig7_cores.cpp.o"
+  "CMakeFiles/fig7_cores.dir/fig7_cores.cpp.o.d"
+  "fig7_cores"
+  "fig7_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

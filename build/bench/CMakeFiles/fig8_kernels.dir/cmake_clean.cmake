@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_kernels.dir/fig8_kernels.cpp.o"
+  "CMakeFiles/fig8_kernels.dir/fig8_kernels.cpp.o.d"
+  "fig8_kernels"
+  "fig8_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_kernels_lowbw.dir/fig9_kernels_lowbw.cpp.o"
+  "CMakeFiles/fig9_kernels_lowbw.dir/fig9_kernels_lowbw.cpp.o.d"
+  "fig9_kernels_lowbw"
+  "fig9_kernels_lowbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_kernels_lowbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

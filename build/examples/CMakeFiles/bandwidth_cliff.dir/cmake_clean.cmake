@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_cliff.dir/bandwidth_cliff.cpp.o"
+  "CMakeFiles/bandwidth_cliff.dir/bandwidth_cliff.cpp.o.d"
+  "bandwidth_cliff"
+  "bandwidth_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_any.dir/run_any.cpp.o"
+  "CMakeFiles/run_any.dir/run_any.cpp.o.d"
+  "run_any"
+  "run_any.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_any.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

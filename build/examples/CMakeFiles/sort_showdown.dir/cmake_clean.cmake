@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_showdown.dir/sort_showdown.cpp.o"
+  "CMakeFiles/sort_showdown.dir/sort_showdown.cpp.o.d"
+  "sort_showdown"
+  "sort_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

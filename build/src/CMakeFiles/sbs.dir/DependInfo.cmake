@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/sim/fiber_switch_x86_64.S" "/root/repo/build/src/CMakeFiles/sbs.dir/sim/fiber_switch_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# Preprocessor definitions for this target.
+set(CMAKE_TARGET_DEFINITIONS_ASM
+  "SBS_ASM_FIBERS=1"
+  )
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/bench_cli.cpp" "src/CMakeFiles/sbs.dir/harness/bench_cli.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/harness/bench_cli.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/sbs.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/kernels/kernel.cpp" "src/CMakeFiles/sbs.dir/kernels/kernel.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/kernel.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/CMakeFiles/sbs.dir/kernels/matmul.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/kernels/quadtree.cpp" "src/CMakeFiles/sbs.dir/kernels/quadtree.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/quadtree.cpp.o.d"
+  "/root/repo/src/kernels/quicksort.cpp" "src/CMakeFiles/sbs.dir/kernels/quicksort.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/quicksort.cpp.o.d"
+  "/root/repo/src/kernels/rrg.cpp" "src/CMakeFiles/sbs.dir/kernels/rrg.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/rrg.cpp.o.d"
+  "/root/repo/src/kernels/rrm.cpp" "src/CMakeFiles/sbs.dir/kernels/rrm.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/rrm.cpp.o.d"
+  "/root/repo/src/kernels/samplesort.cpp" "src/CMakeFiles/sbs.dir/kernels/samplesort.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/kernels/samplesort.cpp.o.d"
+  "/root/repo/src/machine/config.cpp" "src/CMakeFiles/sbs.dir/machine/config.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/machine/config.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/CMakeFiles/sbs.dir/machine/topology.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/machine/topology.cpp.o.d"
+  "/root/repo/src/perf/counters.cpp" "src/CMakeFiles/sbs.dir/perf/counters.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/perf/counters.cpp.o.d"
+  "/root/repo/src/runtime/mem.cpp" "src/CMakeFiles/sbs.dir/runtime/mem.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/runtime/mem.cpp.o.d"
+  "/root/repo/src/runtime/run_stats.cpp" "src/CMakeFiles/sbs.dir/runtime/run_stats.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/runtime/run_stats.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/sbs.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/sched/cilk_ws.cpp" "src/CMakeFiles/sbs.dir/sched/cilk_ws.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/cilk_ws.cpp.o.d"
+  "/root/repo/src/sched/ops.cpp" "src/CMakeFiles/sbs.dir/sched/ops.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/ops.cpp.o.d"
+  "/root/repo/src/sched/pws.cpp" "src/CMakeFiles/sbs.dir/sched/pws.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/pws.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/CMakeFiles/sbs.dir/sched/registry.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/registry.cpp.o.d"
+  "/root/repo/src/sched/sb.cpp" "src/CMakeFiles/sbs.dir/sched/sb.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/sb.cpp.o.d"
+  "/root/repo/src/sched/ws.cpp" "src/CMakeFiles/sbs.dir/sched/ws.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sched/ws.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/sbs.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/CMakeFiles/sbs.dir/sim/counters.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sim/counters.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/sbs.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/sbs.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/memory_system.cpp" "src/CMakeFiles/sbs.dir/sim/memory_system.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/sim/memory_system.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/sbs.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sbs.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sbs.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chase_lev.dir/test_chase_lev.cpp.o"
+  "CMakeFiles/test_chase_lev.dir/test_chase_lev.cpp.o.d"
+  "test_chase_lev"
+  "test_chase_lev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chase_lev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sb_properties.dir/test_sb_properties.cpp.o"
+  "CMakeFiles/test_sb_properties.dir/test_sb_properties.cpp.o.d"
+  "test_sb_properties"
+  "test_sb_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sb_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_cache "/root/repo/build/tests/test_cache")
+set_tests_properties(test_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_chase_lev "/root/repo/build/tests/test_chase_lev")
+set_tests_properties(test_chase_lev PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fiber "/root/repo/build/tests/test_fiber")
+set_tests_properties(test_fiber PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness "/root/repo/build/tests/test_harness")
+set_tests_properties(test_harness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_kernels "/root/repo/build/tests/test_kernels")
+set_tests_properties(test_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_machine "/root/repo/build/tests/test_machine")
+set_tests_properties(test_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memory_system "/root/repo/build/tests/test_memory_system")
+set_tests_properties(test_memory_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_perf "/root/repo/build/tests/test_perf")
+set_tests_properties(test_perf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime_edge "/root/repo/build/tests/test_runtime_edge")
+set_tests_properties(test_runtime_edge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sb_properties "/root/repo/build/tests/test_sb_properties")
+set_tests_properties(test_sb_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_schedulers "/root/repo/build/tests/test_schedulers")
+set_tests_properties(test_schedulers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim_engine "/root/repo/build/tests/test_sim_engine")
+set_tests_properties(test_sim_engine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;0;")
