@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 int main(int argc, char** argv) {
@@ -45,6 +46,8 @@ int main(int argc, char** argv) {
       {"task-size strands, no cap", false, false},
   };
 
+  harness::BenchReport report("ablation_mu");
+  bool first_cell = true;
   for (const char* kernel : {"rrm", "quadtree"}) {
     for (const Arm& arm : arms) {
       harness::ExperimentSpec spec;
@@ -62,7 +65,17 @@ int main(int argc, char** argv) {
       spec.sb.use_strand_sizes = arm.strand_sizes;
       spec.num_threads = static_cast<int>(opts.threads);
       spec.verify = !opts.no_verify;
+      const std::string group =
+          std::string(kernel) + (arm.strand_sizes ? "_ssz" : "_tsz") +
+          (arm.mu_cap ? "_mu" : "_nomu");
+      if (!opts.trace.empty())
+        spec.trace_path = harness::WithPathSuffix(opts.trace, group);
+      spec.metrics_path = opts.metrics_json;
+      spec.metrics_truncate = first_cell;
+      spec.label_prefix = group;
+      first_cell = false;
       const auto results = harness::RunExperiment(spec);
+      report.add(spec, results, group);
       const auto& c = results[0];
       table.add_row({kernel, arm.label, fmt_double(c.active_s, 4),
                      fmt_double(c.empty_s * 1e3, 2),
@@ -71,5 +84,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(opts.csv);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   return 0;
 }

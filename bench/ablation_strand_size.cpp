@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 int main(int argc, char** argv) {
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
   table.set_header({"kernel", "strand sizes", "active(s)", "empty(ms)",
                     "total(s)", "L3 misses"});
 
+  harness::BenchReport report("ablation_strand_size");
+  bool first_cell = true;
   for (const char* kernel : {"quicksort", "rrm"}) {
     for (bool use : {true, false}) {
       harness::ExperimentSpec spec;
@@ -43,7 +46,16 @@ int main(int argc, char** argv) {
       spec.sb.use_strand_sizes = use;
       spec.num_threads = static_cast<int>(opts.threads);
       spec.verify = !opts.no_verify;
+      const std::string group =
+          std::string(kernel) + (use ? "_ssz" : "_tsz");
+      if (!opts.trace.empty())
+        spec.trace_path = harness::WithPathSuffix(opts.trace, group);
+      spec.metrics_path = opts.metrics_json;
+      spec.metrics_truncate = first_cell;
+      spec.label_prefix = group;
+      first_cell = false;
       const auto results = harness::RunExperiment(spec);
+      report.add(spec, results, group);
       const auto& c = results[0];
       table.add_row({kernel, use ? "per-strand (paper)" : "task size",
                      fmt_double(c.active_s, 4),
@@ -53,5 +65,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(opts.csv);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   return 0;
 }

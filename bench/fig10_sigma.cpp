@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
               machine + ")");
   table.set_header({"sigma", "scheduler", "empty(ms)", "overhead(ms)",
                     "total(s)", "L3 misses"});
+  harness::BenchReport report("fig10_sigma");
 
   for (double sigma : sigmas) {
     harness::ExperimentSpec spec;
@@ -39,8 +41,15 @@ int main(int argc, char** argv) {
     spec.sb.mu = opts.mu;
     spec.num_threads = static_cast<int>(opts.threads);
     spec.verify = !opts.no_verify;
+    const std::string group = "sigma" + fmt_double(sigma, 1);
+    if (!opts.trace.empty())
+      spec.trace_path = harness::WithPathSuffix(opts.trace, group);
+    spec.metrics_path = opts.metrics_json;
+    spec.metrics_truncate = sigma == sigmas[0];
+    spec.label_prefix = group;
 
     const auto results = harness::RunExperiment(spec);
+    report.add(spec, results, group);
     for (const auto& c : results) {
       table.add_row({"σ=" + fmt_double(sigma, 1), c.scheduler,
                      fmt_double(c.empty_s * 1e3, 2),
@@ -50,6 +59,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print(opts.csv);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   std::printf(
       "Expected shape (paper): empty-queue time rises steeply as σ→1.\n");
   return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 int main(int argc, char** argv) {
@@ -36,8 +37,14 @@ int main(int argc, char** argv) {
   spec.sb.mu = opts.mu;
   spec.num_threads = static_cast<int>(opts.threads);
   spec.verify = !opts.no_verify;
+  spec.trace_path = opts.trace;
+  spec.metrics_path = opts.metrics_json;
 
   const auto results = harness::RunExperiment(spec);
+  harness::BenchReport report("fig5_rrm");
+  report.add(spec, results);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   Table table = harness::MakeFigureTable(
       "Fig. 5 — RRM (" + std::to_string(spec.params.n) +
           " doubles), schedulers x bandwidth",

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   Table table("Fig. 7 — L3 misses (millions) vs cores per socket");
   table.set_header(
       {"cores", "scheduler", "RRM misses", "RRG misses"});
+  harness::BenchReport report("fig7_cores");
 
   for (int m = 0; m < 5; ++m) {
     std::vector<harness::CellResult> rrm, rrg;
@@ -45,7 +47,13 @@ int main(int argc, char** argv) {
       spec.sb.sigma = opts.sigma;
       spec.sb.mu = opts.mu;
       spec.verify = !opts.no_verify;
+      const std::string group = std::string(kernel) + "_" + labels[m];
+      if (!opts.trace.empty())
+        spec.trace_path = harness::WithPathSuffix(opts.trace, group);
+      spec.metrics_path = opts.metrics_json;
+      spec.metrics_truncate = m == 0 && kernel == std::string("rrm");
       auto results = harness::RunExperiment(spec);
+      report.add(spec, results, group);
       (kernel == std::string("rrm") ? rrm : rrg) = std::move(results);
     }
     for (std::size_t s = 0; s < schedulers.size(); ++s) {
@@ -55,6 +63,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print(opts.csv);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   std::printf(
       "Expected shape (paper): WS/PWS misses grow with cores per socket; "
       "SB/SB-D stay flat.\n");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "harness/bench_cli.h"
+#include "harness/bench_json.h"
 #include "harness/experiment.h"
 
 namespace {
@@ -48,7 +49,9 @@ int main(int argc, char** argv) {
               (low_bw ? "25%" : "100%") + " bandwidth on " + machine);
   table.set_header({"kernel", "scheduler", "active(s)", "overhead(s)",
                     "empty(s)", "total(s)", "L3 misses"});
+  harness::BenchReport report(low_bw ? "fig9_kernels_lowbw" : "fig8_kernels");
 
+  bool first_kernel = true;
   for (const KernelCase& kc : cases) {
     harness::ExperimentSpec spec;
     spec.kernel = kc.kernel;
@@ -63,8 +66,14 @@ int main(int argc, char** argv) {
     spec.sb.mu = opts.mu;
     spec.num_threads = static_cast<int>(opts.threads);
     spec.verify = !opts.no_verify;
+    if (!opts.trace.empty())
+      spec.trace_path = harness::WithPathSuffix(opts.trace, kc.kernel);
+    spec.metrics_path = opts.metrics_json;
+    spec.metrics_truncate = first_kernel;
+    first_kernel = false;
 
     const auto results = harness::RunExperiment(spec);
+    report.add(spec, results, kc.kernel);
     for (const auto& c : results) {
       table.add_row({kc.label, c.scheduler, fmt_double(c.active_s, 4),
                      fmt_double(c.overhead_s, 4), fmt_double(c.empty_s, 4),
@@ -80,5 +89,7 @@ int main(int argc, char** argv) {
                  100.0 * (sb_t / ws_t - 1.0));
   }
   table.print(opts.csv);
+  if (!report.write()) std::fprintf(stderr, "failed to write %s\n",
+                                    report.default_path().c_str());
   return 0;
 }

@@ -6,12 +6,20 @@
 // quantity behind the paper's §3.3 overhead breakdown — work stealing's
 // two-lock deque should be several times cheaper per strand than the
 // space-bounded tree walk.
+//
+// After the google-benchmark suite, a recorder-overhead cell measures the
+// cost of the tracing subsystem itself (traced vs untraced fork-join runs)
+// and writes it to BENCH_micro_overheads.json.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
 
 #include "machine/topology.h"
 #include "runtime/jobs.h"
 #include "runtime/thread_pool.h"
 #include "sched/registry.h"
+#include "util/json.h"
 
 namespace {
 
@@ -62,6 +70,66 @@ void BM_ForkJoinThroughput(benchmark::State& state) {
   }
 }
 
+/// Best-of-reps wall time of a depth-11 fork tree under WS on `pool`.
+double best_wall_s(runtime::ThreadPool& pool, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto sched = sched::MakeScheduler("WS");
+    const runtime::RunStats stats = pool.run(*sched, fork_tree(11));
+    best = std::min(best, stats.wall_s);
+  }
+  return best;
+}
+
+/// Traced-vs-untraced cost of the recorder hot path, written to
+/// BENCH_micro_overheads.json. The acceptance bar is <1% slowdown with
+/// tracing disabled; the traced figure quantifies the enabled cost too.
+void recorder_overhead_cell() {
+  const machine::Topology topo(machine::Preset("mini"));
+  constexpr int kReps = 5;
+
+  runtime::ThreadPool plain(topo);
+  const double untraced_s = best_wall_s(plain, kReps);
+
+  runtime::ThreadPool traced(topo);
+  traced.enable_tracing(1u << 18);
+  const double traced_s = best_wall_s(traced, kReps);
+  const std::uint64_t events = traced.recorder()->total_recorded();
+  const std::uint64_t dropped = traced.recorder()->total_dropped();
+
+  const double slowdown_pct = 100.0 * (traced_s / untraced_s - 1.0);
+  const double events_per_sec = static_cast<double>(events) / traced_s;
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "micro_overheads");
+  w.kv("schema_version", 1);
+  w.key("recorder_overhead").begin_object();
+  w.kv("machine", "mini");
+  w.kv("workload", "fork_tree(11) under WS, best of 5");
+  w.kv("untraced_s", untraced_s);
+  w.kv("traced_s", traced_s);
+  w.kv("slowdown_pct", slowdown_pct);
+  w.kv("events", events);
+  w.kv("dropped_events", dropped);
+  w.kv("events_per_sec", events_per_sec);
+  w.end_object();
+  w.end_object();
+
+  const char* path = "BENCH_micro_overheads.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+  std::printf(
+      "recorder overhead: untraced %.4fs, traced %.4fs (%+.2f%%), "
+      "%llu events (%.1fM events/s) -> %s\n",
+      untraced_s, traced_s, slowdown_pct,
+      static_cast<unsigned long long>(events), events_per_sec / 1e6, path);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SchedulerStrandCost, WS, std::string("WS"))
@@ -76,4 +144,11 @@ BENCHMARK_CAPTURE(BM_SchedulerStrandCost, SB_D, std::string("SB-D"))
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ForkJoinThroughput)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  recorder_overhead_cell();
+  return 0;
+}

@@ -5,6 +5,8 @@
 //   ./run_any --kernel=quicksort --sched=SB --machine=xeon7560_s8 --n=1000000
 //   ./run_any --kernel=rrm --sched=WS --engine=threads --threads=4
 //   ./run_any --kernel=matmul --n=512 --sched=SB-D --sigma=0.7 --sockets=1
+//   ./run_any --kernel=quicksort --sched=SB --trace=out.json \
+//             --metrics-json=metrics.jsonl   # Perfetto trace + summary line
 #include <cstdio>
 
 #include "kernels/kernel.h"
@@ -12,6 +14,8 @@
 #include "runtime/thread_pool.h"
 #include "sched/registry.h"
 #include "sim/engine.h"
+#include "trace/analysis.h"
+#include "trace/chrome_trace.h"
 #include "util/cli.h"
 
 using namespace sbs;
@@ -27,6 +31,8 @@ int main(int argc, char** argv) {
   std::int64_t sockets = 0;  // memory sockets (bandwidth); 0 = all
   std::int64_t seed = 12345;
   double sigma = 0.5, mu = 0.2;
+  std::string trace_path;
+  std::string metrics_path;
 
   Cli cli("run_any", "run any kernel under any scheduler on any machine");
   cli.add_string("kernel", &kernel_name,
@@ -44,6 +50,10 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "input seed");
   cli.add_double("sigma", &sigma, "space-bounded dilation");
   cli.add_double("mu", &mu, "space-bounded strand cap");
+  cli.add_string("trace", &trace_path,
+                 "write a Chrome trace (Perfetto-loadable) of the run here");
+  cli.add_string("metrics-json", &metrics_path,
+                 "write a one-line JSONL metrics summary of the run here");
   if (!cli.parse(argc, argv)) return 0;
 
   const machine::MachineConfig cfg =
@@ -74,18 +84,50 @@ int main(int argc, char** argv) {
   spec.sb.mu = mu;
   auto sched = sched::MakeScheduler(spec);
 
+  const bool tracing = !trace_path.empty() || !metrics_path.empty();
+  const auto export_trace = [&](const trace::Recorder& rec) {
+    if (!trace_path.empty()) {
+      trace::TraceInfo info;
+      info.engine = engine_name;
+      info.scheduler = sched_name;
+      info.machine = cfg.name;
+      info.label = kernel_name;
+      if (trace::WriteChromeTrace(rec, trace_path, info)) {
+        std::printf("trace: %s (%llu events, %llu dropped)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(rec.total_recorded()),
+                    static_cast<unsigned long long>(rec.total_dropped()));
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      }
+    }
+    if (!metrics_path.empty()) {
+      const std::string label = kernel_name + "/" + sched_name;
+      if (trace::WriteMetricsJsonl(trace::Analyze(rec), metrics_path, label,
+                                   /*truncate=*/true)) {
+        std::printf("metrics: %s\n", metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
+      }
+    }
+  };
+
   if (engine_name == "threads") {
     runtime::ThreadPool pool(topo, static_cast<int>(threads));
+    if (tracing) pool.enable_tracing();
     const runtime::RunStats stats = pool.run(*sched, kernel->make_root());
     std::printf("[threads] %s\n", stats.summary().c_str());
+    if (tracing) export_trace(*pool.recorder());
   } else {
     sim::SimParams sp;
     sp.num_threads = static_cast<int>(threads);
     for (int s = 0; s < sockets; ++s) sp.memory.allowed_sockets.push_back(s);
     sim::SimEngine engine(topo, sp);
+    if (tracing) engine.enable_tracing();
     const sim::SimResult r = engine.run(*sched, kernel->make_root());
     std::printf("[sim] %s\n", r.stats.summary().c_str());
     std::printf("[sim] %s\n", r.counters.summary().c_str());
+    if (tracing) export_trace(*engine.recorder());
   }
   std::printf("scheduler stats: %s\n", sched->stats_string().c_str());
   std::printf("verify: %s\n", kernel->verify() ? "OK" : "FAILED");

@@ -24,6 +24,8 @@ struct BenchOptions {
   double mu = 0.2;
   std::int64_t threads = -1;
   bool no_verify = false;
+  std::string trace;         ///< Chrome trace of each cell's first repetition
+  std::string metrics_json;  ///< JSONL metrics summary, one line per cell
 
   int repetitions() const {
     if (reps > 0) return static_cast<int>(reps);

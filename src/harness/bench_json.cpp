@@ -1,0 +1,72 @@
+#include "harness/bench_json.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace sbs::harness {
+
+void BenchReport::add(const ExperimentSpec& spec,
+                      const std::vector<CellResult>& results,
+                      const std::string& group) {
+  Group g;
+  g.label = group;
+  g.kernel = spec.kernel;
+  g.machine = spec.machine;
+  g.n = static_cast<std::uint64_t>(spec.params.n);
+  g.repetitions = spec.repetitions;
+  g.sigma = spec.sb.sigma;
+  g.mu = spec.sb.mu;
+  g.cells = results;
+  groups_.push_back(std::move(g));
+}
+
+bool BenchReport::write(const std::string& path) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench_name_);
+  w.kv("schema_version", 1);
+  w.key("groups").begin_array();
+  for (const auto& g : groups_) {
+    w.begin_object();
+    if (!g.label.empty()) w.kv("label", g.label);
+    w.kv("kernel", g.kernel);
+    w.kv("machine", g.machine);
+    w.kv("n", g.n);
+    w.kv("repetitions", g.repetitions);
+    w.kv("sigma", g.sigma);
+    w.kv("mu", g.mu);
+    w.key("cells").begin_array();
+    for (const auto& c : g.cells) {
+      w.begin_object();
+      w.kv("scheduler", c.scheduler);
+      w.kv("bw_sockets", c.bw_sockets);
+      w.kv("total_sockets", c.total_sockets);
+      w.kv("active_s", c.active_s);
+      w.kv("overhead_s", c.overhead_s);
+      w.kv("empty_s", c.empty_s);
+      w.kv("wall_s", c.wall_s);
+      w.kv("llc_misses", c.llc_misses);
+      w.kv("llc_hits", c.llc_hits);
+      w.kv("dram_reads", c.dram_reads);
+      w.kv("queue_wait_cycles", c.queue_wait_cycles);
+      w.kv("strands", c.strands);
+      w.kv("verified", c.verified);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string out = path.empty() ? default_path() : path;
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) return false;
+  const std::string& text = w.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sbs::harness

@@ -2,10 +2,21 @@
 
 #include <cstdio>
 
+#include "trace/analysis.h"
+#include "trace/chrome_trace.h"
 #include "util/assert.h"
 #include "util/stats.h"
 
 namespace sbs::harness {
+
+std::string WithPathSuffix(const std::string& path,
+                           const std::string& suffix) {
+  const auto dot = path.rfind('.');
+  const auto slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + "." + suffix;
+  return path.substr(0, dot) + "." + suffix + path.substr(dot);
+}
 
 std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
                                       bool progress) {
@@ -19,6 +30,9 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
   auto kernel = kernels::MakeKernel(spec.kernel, spec.params);
   kernel->prepare(spec.seed);
 
+  const std::size_t total_cells = sweep.size() * spec.schedulers.size();
+  bool first_metrics_line = spec.metrics_truncate;
+
   std::vector<CellResult> results;
   for (int sockets : sweep) {
     SBS_CHECK(sockets >= 1 && sockets <= total_sockets);
@@ -28,6 +42,14 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
       for (int s = 0; s < sockets; ++s)
         sim_params.memory.allowed_sockets.push_back(s);
       sim::SimEngine engine(topo, sim_params);
+
+      const bool tracing =
+          !spec.trace_path.empty() || !spec.metrics_path.empty();
+      if (tracing) engine.enable_tracing();
+      const std::string cell_label =
+          (spec.label_prefix.empty() ? "" : spec.label_prefix + "/") +
+          spec.kernel + "@" + spec.machine + "/" + sched_name + "/" +
+          std::to_string(sockets) + "bw";
 
       CellResult cell;
       cell.scheduler = sched_name;
@@ -44,6 +66,33 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
         auto sched = sched::MakeScheduler(ss);
 
         const sim::SimResult r = engine.run(*sched, kernel->make_root());
+        if (tracing && rep == 0) {
+          // Only the first repetition is exported: each run resets the rings.
+          if (!spec.trace_path.empty()) {
+            trace::TraceInfo info;
+            info.engine = "sim";
+            info.scheduler = sched_name;
+            info.machine = spec.machine;
+            info.label = cell_label;
+            const std::string path =
+                total_cells == 1
+                    ? spec.trace_path
+                    : WithPathSuffix(spec.trace_path,
+                                     sched_name + "_" +
+                                         std::to_string(sockets) + "bw");
+            SBS_CHECK_MSG(
+                trace::WriteChromeTrace(*engine.recorder(), path, info),
+                "failed to write --trace output");
+          }
+          if (!spec.metrics_path.empty()) {
+            SBS_CHECK_MSG(
+                trace::WriteMetricsJsonl(trace::Analyze(*engine.recorder()),
+                                         spec.metrics_path, cell_label,
+                                         /*truncate=*/first_metrics_line),
+                "failed to write --metrics-json output");
+            first_metrics_line = false;
+          }
+        }
         active.push_back(r.stats.avg_active_s());
         overhead.push_back(r.stats.avg_overhead_s());
         empty.push_back(r.stats.avg_empty_s());

@@ -31,6 +31,21 @@ struct ExperimentSpec {
   sched::SpaceBounded::Options sb;
   int num_threads = -1;  ///< -1: all hardware threads of the machine
   bool verify = true;
+
+  /// Chrome Trace Event output: the first repetition of each cell is traced
+  /// and written to this path, with "<scheduler>_<sockets>bw" inserted
+  /// before the extension when the matrix has more than one cell.
+  std::string trace_path;
+  /// JSONL metrics output: one line per cell, appended in cell order (the
+  /// file is truncated at the start of the experiment when
+  /// `metrics_truncate` is set — multi-spec benches clear it after their
+  /// first RunExperiment call so every sweep point lands in one file).
+  std::string metrics_path;
+  bool metrics_truncate = true;
+  /// Prefix for the per-cell labels in the metrics JSONL — multi-spec
+  /// benches set it to the sweep-point name (e.g. "sigma0.9") so lines from
+  /// different RunExperiment calls stay distinguishable.
+  std::string label_prefix;
 };
 
 /// Aggregated measurements of one (scheduler, bandwidth) cell.
@@ -71,5 +86,10 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
 /// (bandwidth, scheduler) with active time, overhead, and L3 misses.
 Table MakeFigureTable(const std::string& title,
                       const std::vector<CellResult>& results);
+
+/// "out.json" + "SB_4bw" -> "out.SB_4bw.json" — insert a suffix before the
+/// extension. Multi-spec benches use it to keep sweep points from
+/// overwriting each other's trace files.
+std::string WithPathSuffix(const std::string& path, const std::string& suffix);
 
 }  // namespace sbs::harness

@@ -9,7 +9,8 @@ namespace sbs::runtime {
 std::string RunStats::summary() const {
   std::ostringstream out;
   out << "wall " << fmt_seconds(wall_s) << ", avg active "
-      << fmt_seconds(avg_active_s()) << ", avg overhead "
+      << fmt_seconds(avg_active_s()) << " (max " << fmt_seconds(max_active_s())
+      << ", imb " << fmt_double(imbalance(), 2) << "x), avg overhead "
       << fmt_seconds(avg_overhead_s()) << " (empty "
       << fmt_seconds(avg_empty_s()) << "), " << total_strands() << " strands";
   return out.str();

@@ -6,6 +6,7 @@
 // timers; the simulator fills them from virtual core clocks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,14 +29,33 @@ struct RunStats {
   double wall_s = 0;  ///< wall clock (real) or makespan (virtual)
   std::vector<ThreadBreakdown> per_thread;
 
+  /// Mean of `field` over *all* workers, including ones that stayed idle
+  /// the whole run: an idle worker contributes 0 to the numerator but still
+  /// counts in the denominator (the paper's §3.3 per-thread averages divide
+  /// by the worker count, not by the count of busy workers — tested in
+  /// test_runtime).
   double avg(double ThreadBreakdown::* field) const {
     if (per_thread.empty()) return 0;
     double sum = 0;
     for (const auto& t : per_thread) sum += t.*field;
     return sum / static_cast<double>(per_thread.size());
   }
+  /// Worst single worker — max() / avg() of active time is the
+  /// load-imbalance signal the trace metrics report.
+  double max(double ThreadBreakdown::* field) const {
+    double worst = 0;
+    for (const auto& t : per_thread) worst = std::max(worst, t.*field);
+    return worst;
+  }
   /// Active time averaged over all threads — the paper's headline number.
   double avg_active_s() const { return avg(&ThreadBreakdown::active_s); }
+  double max_active_s() const { return max(&ThreadBreakdown::active_s); }
+  /// Worst-thread imbalance: max active / mean active (1.0 = perfectly
+  /// even; 0 when no thread did any work).
+  double imbalance() const {
+    const double mean = avg_active_s();
+    return mean == 0 ? 0 : max_active_s() / mean;
+  }
   /// Average scheduler + load-imbalance overhead (add+done+get+empty).
   double avg_overhead_s() const {
     double sum = 0;

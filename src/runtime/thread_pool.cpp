@@ -21,6 +21,10 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+double seconds_between(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
 /// Best-effort pinning of the calling thread to a host CPU. Failure is fine
 /// (containers, small hosts): correctness never depends on placement.
 void try_pin(int host_cpu) {
@@ -42,8 +46,17 @@ ThreadPool::ThreadPool(const machine::Topology& topo, int num_threads)
   SBS_CHECK(num_threads_ >= 1 && num_threads_ <= topo.num_threads());
 }
 
+void ThreadPool::enable_tracing(std::size_t events_per_worker) {
+  recorder_ =
+      std::make_unique<trace::Recorder>(num_threads_, events_per_worker);
+}
+
 RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
   sched.start(topo_, num_threads_);
+
+  if (recorder_) recorder_->begin_run(/*virtual_time=*/false, 1e9);
+  trace::Scope trace_scope(recorder_.get());
+  trace::Recorder* const rec = recorder_.get();
 
   StrandOps::Root root = StrandOps::make_root(root_job);
   std::atomic<bool> finished{false};
@@ -58,35 +71,67 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
     try_pin(static_cast<int>(static_cast<unsigned>(tid) % host_cpus));
     ThreadBreakdown& bd = slots[static_cast<std::size_t>(tid)].times;
     std::vector<Job*> to_add;
+    using trace::EventKind;
     while (!finished.load(std::memory_order_acquire)) {
       auto t0 = Clock::now();
+      if (rec) rec->record(tid, EventKind::kGetBegin, rec->ticks_of(t0));
       Job* job = sched.get(tid);
-      bd.get_s += seconds_since(t0);
+      auto t1 = Clock::now();
+      bd.get_s += seconds_between(t0, t1);
+      if (rec) {
+        rec->record(tid, EventKind::kGetEnd, rec->ticks_of(t1), 0,
+                    job != nullptr ? 1 : 0);
+      }
       if (job == nullptr) {
-        auto t1 = Clock::now();
         std::this_thread::yield();
-        bd.empty_s += seconds_since(t1);
+        auto t2 = Clock::now();
+        bd.empty_s += seconds_between(t1, t2);
+        if (rec) {
+          rec->record(tid, EventKind::kEmpty, rec->ticks_of(t1),
+                      rec->ticks_of(t2) - rec->ticks_of(t1));
+        }
         continue;
       }
 
       Strand strand(tid, num_threads_);
       auto t2 = Clock::now();
       job->execute(strand);
-      bd.active_s += seconds_since(t2);
+      auto t3 = Clock::now();
+      bd.active_s += seconds_between(t2, t3);
       ++bd.strands;
+      if (rec) {
+        rec->record(tid, EventKind::kStrand, rec->ticks_of(t2),
+                    rec->ticks_of(t3) - rec->ticks_of(t2));
+      }
 
       const bool completed = !strand.forked();
-      auto t3 = Clock::now();
       sched.done(job, tid, completed);
-      bd.done_s += seconds_since(t3);
+      auto t4 = Clock::now();
+      bd.done_s += seconds_between(t3, t4);
+      if (rec) {
+        rec->record(tid, EventKind::kDone, rec->ticks_of(t3),
+                    rec->ticks_of(t4) - rec->ticks_of(t3));
+      }
 
       to_add.clear();
       bool root_completed = false;
       StrandOps::settle(job, strand, to_add, root_completed);
+      if (rec) {
+        if (strand.forked()) {
+          rec->record_now(tid, EventKind::kFork, to_add.size());
+        } else if (!to_add.empty()) {
+          rec->record_now(tid, EventKind::kJoin);
+        }
+      }
 
-      auto t4 = Clock::now();
+      auto t5 = Clock::now();
       for (Job* a : to_add) sched.add(a, tid);
-      bd.add_s += seconds_since(t4);
+      auto t6 = Clock::now();
+      bd.add_s += seconds_between(t5, t6);
+      if (rec) {
+        rec->record(tid, EventKind::kAdd, rec->ticks_of(t5),
+                    rec->ticks_of(t6) - rec->ticks_of(t5));
+      }
 
       if (root_completed) finished.store(true, std::memory_order_release);
     }

@@ -7,10 +7,13 @@
 // measurement vehicle.
 #pragma once
 
+#include <memory>
+
 #include "machine/topology.h"
 #include "runtime/job.h"
 #include "runtime/run_stats.h"
 #include "runtime/scheduler.h"
+#include "trace/recorder.h"
 
 namespace sbs::runtime {
 
@@ -25,9 +28,18 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
+  /// Own a trace recorder: subsequent run()s record scheduler lifecycle
+  /// events with real (nanosecond) timestamps. Each run resets the rings,
+  /// so export (trace::WriteChromeTrace / Analyze) before the next run.
+  void enable_tracing(
+      std::size_t events_per_worker = trace::Recorder::kDefaultCapacity);
+  /// The pool's recorder; nullptr unless enable_tracing() was called.
+  trace::Recorder* recorder() { return recorder_.get(); }
+
  private:
   const machine::Topology& topo_;
   int num_threads_;
+  std::unique_ptr<trace::Recorder> recorder_;
 };
 
 }  // namespace sbs::runtime

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "trace/recorder.h"
 #include "util/assert.h"
 
 namespace sbs::sched {
@@ -36,8 +37,11 @@ Job* CilkWorkStealing::get(int thread_id) {
     const auto victim =
         self.rng.next_below(static_cast<std::uint64_t>(num_threads_));
     PerThread& v = *threads_[static_cast<std::size_t>(victim)];
-    if (&v != &self && v.deque.steal_top(&job)) {
+    if (&v == &self) continue;
+    trace::emit(thread_id, trace::EventKind::kStealAttempt, victim);
+    if (v.deque.steal_top(&job)) {
       ++self.steals;
+      trace::emit(thread_id, trace::EventKind::kStealSuccess, victim);
       return job;
     }
   }

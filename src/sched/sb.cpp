@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "trace/recorder.h"
 #include "util/assert.h"
 
 namespace sbs::sched {
@@ -261,6 +262,9 @@ bool SpaceBounded::try_anchor(Job* job, int x_node, int b, int thread_id) {
   ++self.anchors;
   anchors_at_depth_[static_cast<std::size_t>(b)].fetch_add(
       1, std::memory_order_relaxed);
+  trace::emit(thread_id, trace::EventKind::kAnchor,
+              static_cast<std::uint64_t>(b),
+              static_cast<std::uint64_t>(anchor), task->size);
   return true;
 }
 
@@ -325,6 +329,8 @@ Job* SpaceBounded::get(int thread_id) {
       }
       // Bounded property would be violated: put the task back and move on.
       ++self.admission_failures;
+      trace::emit(thread_id, trace::EventKind::kAdmissionFail,
+                  static_cast<std::uint64_t>(b), static_cast<std::uint64_t>(id));
       SpinGuard guard(node.lock);
       count_op();
       if (is_top_bucket(id, b)) {
@@ -360,6 +366,17 @@ void SpaceBounded::done(Job* job, int thread_id, bool task_completed) {
 
 std::uint64_t SpaceBounded::occupied(int node_id) const {
   return nodes_[static_cast<std::size_t>(node_id)]->occupied.load();
+}
+
+std::uint64_t SpaceBounded::total_anchors() const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_) n += t->anchors;
+  return n;
+}
+
+std::uint64_t SpaceBounded::anchors_at_depth(int depth) const {
+  return anchors_at_depth_[static_cast<std::size_t>(depth)].load(
+      std::memory_order_relaxed);
 }
 
 std::uint64_t SpaceBounded::max_occupied(int node_id) const {

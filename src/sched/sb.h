@@ -74,6 +74,9 @@ class SpaceBounded : public runtime::Scheduler {
   std::uint64_t occupied(int node_id) const;
   /// High-water occupancy of a cache node across the run.
   std::uint64_t max_occupied(int node_id) const;
+  /// Anchoring decisions across the run (tests compare against the trace).
+  std::uint64_t total_anchors() const;
+  std::uint64_t anchors_at_depth(int depth) const;
 
  private:
   struct alignas(64) NodeState {

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "trace/recorder.h"
 #include "util/assert.h"
 
 namespace sbs::sched {
@@ -50,6 +51,8 @@ Job* WorkStealing::get(int thread_id) {
   }
   // Local deque empty: steal from the top of a random victim's deque.
   const int choice = steal_choice(thread_id);
+  trace::emit(thread_id, trace::EventKind::kStealAttempt,
+              static_cast<std::uint64_t>(choice));
   PerThread& victim = *threads_[static_cast<std::size_t>(choice)];
   SpinGuard steal_guard(victim.steal_lock);
   SpinGuard local_guard(victim.local_lock);
@@ -58,6 +61,8 @@ Job* WorkStealing::get(int thread_id) {
     Job* job = victim.jobs.front();
     victim.jobs.pop_front();
     ++self.steals;
+    trace::emit(thread_id, trace::EventKind::kStealSuccess,
+                static_cast<std::uint64_t>(choice));
     return job;
   }
   ++self.failed_steals;

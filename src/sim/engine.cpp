@@ -61,6 +61,7 @@ struct SimEngine::VCore final : mem::AccessSink {
   std::optional<Strand> strand;
   bool strand_done = false;
   bool busy = false;  ///< strand in progress (possibly suspended)
+  std::uint64_t strand_start_clock = 0;  ///< for the kStrand trace event
 
   // Cycle breakdown (converted to seconds at the end).
   std::uint64_t active_cy = 0, add_cy = 0, done_cy = 0, get_cy = 0,
@@ -85,32 +86,56 @@ SimEngine::~SimEngine() {
   }
 }
 
+void SimEngine::enable_tracing(std::size_t events_per_worker) {
+  recorder_ =
+      std::make_unique<trace::Recorder>(num_threads_, events_per_worker);
+}
+
 std::uint64_t SimEngine::charge_ops(std::uint64_t ops_before) const {
   return (sched::ops_snapshot() - ops_before) *
          topo_.config().sched_op_cycles;
 }
 
 void SimEngine::finish_strand(VCore& core) {
+  using trace::EventKind;
+  trace::Recorder* const rec = recorder_.get();
   core.busy = false;
   ++core.strands;
   const bool completed = !core.strand->forked();
+  if (rec) {
+    rec->record(core.tid, EventKind::kStrand, core.strand_start_clock,
+                core.clock - core.strand_start_clock);
+    rec->set_now(core.tid, core.clock);
+  }
 
   std::uint64_t ops0 = sched::ops_snapshot();
+  const std::uint64_t done_start = core.clock;
   sched_->done(core.job, core.tid, completed);
   std::uint64_t cy = charge_ops(ops0);
   core.done_cy += cy;
   core.clock += cy;
+  if (rec) rec->record(core.tid, EventKind::kDone, done_start, cy);
 
   std::vector<Job*> to_add;
   bool root_completed = false;
   StrandOps::settle(core.job, *core.strand, to_add, root_completed);
   core.job = nullptr;
+  if (rec) {
+    rec->set_now(core.tid, core.clock);
+    if (!completed) {
+      rec->record_now(core.tid, EventKind::kFork, to_add.size());
+    } else if (!to_add.empty()) {
+      rec->record_now(core.tid, EventKind::kJoin);
+    }
+  }
 
   ops0 = sched::ops_snapshot();
+  const std::uint64_t add_start = core.clock;
   for (Job* a : to_add) sched_->add(a, core.tid);
   cy = charge_ops(ops0) + topo_.config().fork_join_cycles;
   core.add_cy += cy;
   core.clock += cy;
+  if (rec) rec->record(core.tid, EventKind::kAdd, add_start, cy);
 
   if (root_completed) root_completed_ = true;
 }
@@ -130,11 +155,19 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
   sched.start(topo_, num_threads_);
   StrandOps::Root root = StrandOps::make_root(root_job);
 
+  if (recorder_) {
+    recorder_->begin_run(/*virtual_time=*/true, topo_.config().ghz * 1e9);
+  }
+  trace::Scope trace_scope(recorder_.get());
+  trace::Recorder* const rec = recorder_.get();
+  using trace::EventKind;
+
   {
     VCore& c0 = *cores_[0];
     const std::uint64_t ops0 = sched::ops_snapshot();
     sched.add(root_job, 0);
     const std::uint64_t cy = charge_ops(ops0);
+    if (rec) rec->record(0, EventKind::kAdd, c0.clock, cy);
     c0.add_cy += cy;
     c0.clock += cy;
   }
@@ -160,9 +193,17 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
 
     VCore& core = *next;
     if (!core.busy) {
+      if (rec) {
+        rec->set_now(core.tid, core.clock);
+        rec->record(core.tid, EventKind::kGetBegin, core.clock);
+      }
       const std::uint64_t ops0 = sched::ops_snapshot();
       Job* job = sched.get(core.tid);
       const std::uint64_t cy = charge_ops(ops0);
+      if (rec) {
+        rec->record(core.tid, EventKind::kGetEnd, core.clock + cy, 0,
+                    job != nullptr ? 1 : 0);
+      }
       if (job == nullptr) {
         // Idle: nothing can be enqueued before the next core acts at the
         // second-smallest clock, so jump there directly (but always advance
@@ -174,6 +215,10 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
                 : horizon_ - params_.skew_quantum;
         const std::uint64_t next = std::max(
             core.clock + cy + topo_.config().idle_poll_cycles, second);
+        if (rec) {
+          rec->record(core.tid, EventKind::kEmpty, core.clock + cy,
+                      next - (core.clock + cy));
+        }
         core.empty_cy += next - core.clock;
         core.clock = next;
         SBS_CHECK_MSG(++consecutive_empty <
@@ -189,6 +234,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       core.strand.emplace(core.tid, num_threads_);
       core.strand_done = false;
       core.busy = true;
+      core.strand_start_clock = core.clock;
       core.ensure_fiber(params_.fiber_stack_bytes);
     }
 

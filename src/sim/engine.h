@@ -29,6 +29,7 @@
 #include "runtime/scheduler.h"
 #include "sim/counters.h"
 #include "sim/memory_system.h"
+#include "trace/recorder.h"
 
 namespace sbs::sim {
 
@@ -66,6 +67,14 @@ class SimEngine {
   const machine::Topology& topology() const { return topo_; }
   MemorySystem& memory() { return *memory_; }
 
+  /// Own a trace recorder: subsequent run()s record scheduler lifecycle
+  /// events with virtual-cycle timestamps from the per-core clocks. Each
+  /// run resets the rings, so export before the next run.
+  void enable_tracing(
+      std::size_t events_per_worker = trace::Recorder::kDefaultCapacity);
+  /// The engine's recorder; nullptr unless enable_tracing() was called.
+  trace::Recorder* recorder() { return recorder_.get(); }
+
  private:
   struct VCore;
   friend struct VCore;
@@ -78,6 +87,7 @@ class SimEngine {
   int num_threads_;
   std::unique_ptr<MemorySystem> memory_;
   std::vector<std::unique_ptr<VCore>> cores_;
+  std::unique_ptr<trace::Recorder> recorder_;
   runtime::Scheduler* sched_ = nullptr;
   std::uint64_t horizon_ = 0;  ///< yield threshold for the running fiber
   bool root_completed_ = false;

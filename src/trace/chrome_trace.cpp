@@ -1,0 +1,119 @@
+#include "trace/chrome_trace.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace sbs::trace {
+
+namespace {
+
+/// Per-event JSON is emitted with fprintf (all fields are numbers or fixed
+/// names), streamed straight to the file so multi-megabyte traces never
+/// materialize in memory.
+void write_event(std::FILE* f, int worker, const Event& e, double us_per_tick,
+                 bool first) {
+  const double ts = static_cast<double>(e.ts) * us_per_tick;
+  const char* name = KindName(e.kind);
+  if (!first) std::fputs(",\n", f);
+  switch (e.kind) {
+    case EventKind::kStrand:
+    case EventKind::kAdd:
+    case EventKind::kDone:
+    case EventKind::kEmpty:
+      std::fprintf(f,
+                   R"({"name":"%s","ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f})",
+                   name, worker, ts,
+                   static_cast<double>(e.dur) * us_per_tick);
+      break;
+    case EventKind::kGetBegin:
+      std::fprintf(f, R"({"name":"get","ph":"B","pid":0,"tid":%d,"ts":%.3f})",
+                   worker, ts);
+      break;
+    case EventKind::kGetEnd:
+      std::fprintf(f,
+                   R"({"name":"get","ph":"E","pid":0,"tid":%d,"ts":%.3f,"args":{"found":%llu}})",
+                   worker, ts, static_cast<unsigned long long>(e.a));
+      break;
+    case EventKind::kFork:
+      std::fprintf(f,
+                   R"({"name":"fork","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"children":%llu}})",
+                   worker, ts, static_cast<unsigned long long>(e.a));
+      break;
+    case EventKind::kJoin:
+      std::fprintf(f,
+                   R"({"name":"join","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f})",
+                   worker, ts);
+      break;
+    case EventKind::kStealAttempt:
+    case EventKind::kStealSuccess:
+      std::fprintf(f,
+                   R"({"name":"%s","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"victim":%llu}})",
+                   name, worker, ts, static_cast<unsigned long long>(e.a));
+      break;
+    case EventKind::kAnchor:
+      std::fprintf(f,
+                   R"({"name":"anchor","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"level":%llu,"cache":%llu,"bytes":%llu}})",
+                   worker, ts, static_cast<unsigned long long>(e.a),
+                   static_cast<unsigned long long>(e.b),
+                   static_cast<unsigned long long>(e.dur));
+      break;
+    case EventKind::kAdmissionFail:
+      std::fprintf(f,
+                   R"({"name":"admission_fail","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"level":%llu,"cache":%llu}})",
+                   worker, ts, static_cast<unsigned long long>(e.a),
+                   static_cast<unsigned long long>(e.b));
+      break;
+    case EventKind::kNumKinds:
+      break;
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const Recorder& recorder, const std::string& path,
+                      const TraceInfo& info) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  const double us_per_tick = 1e6 / recorder.ticks_per_second();
+  std::fputs("{\"traceEvents\":[\n", f);
+
+  bool first = true;
+  // Process/thread naming metadata so Perfetto shows "worker N" tracks.
+  std::fprintf(f,
+               R"({"name":"process_name","ph":"M","pid":0,"args":{"name":"sbsched %s %s"}})",
+               JsonEscape(info.engine).c_str(),
+               JsonEscape(info.scheduler).c_str());
+  first = false;
+  for (int w = 0; w < recorder.num_workers(); ++w) {
+    std::fprintf(f,
+                 ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                 "\"tid\":%d,\"args\":{\"name\":\"worker %d\"}}",
+                 w, w);
+  }
+
+  for (int w = 0; w < recorder.num_workers(); ++w) {
+    for (const Event& e : recorder.events(w)) {
+      write_event(f, w, e, us_per_tick, first);
+      first = false;
+    }
+  }
+
+  std::fprintf(f,
+               "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+               "\"engine\":\"%s\",\"scheduler\":\"%s\",\"machine\":\"%s\","
+               "\"label\":\"%s\",\"clock\":\"%s\","
+               "\"ticks_per_second\":%.17g,\"dropped_events\":%llu}}\n",
+               JsonEscape(info.engine).c_str(),
+               JsonEscape(info.scheduler).c_str(),
+               JsonEscape(info.machine).c_str(),
+               JsonEscape(info.label).c_str(),
+               recorder.virtual_time() ? "virtual" : "real",
+               recorder.ticks_per_second(),
+               static_cast<unsigned long long>(recorder.total_dropped()));
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace sbs::trace

@@ -1,0 +1,31 @@
+// Chrome Trace Event Format exporter.
+//
+// Writes a Recorder snapshot as the JSON object form of the Trace Event
+// Format ({"traceEvents": [...], ...}), loadable in chrome://tracing and
+// https://ui.perfetto.dev. One Chrome "thread" per worker; complete events
+// ("X") for strands / callbacks / stalls, begin–end pairs ("B"/"E") for
+// get(), and instant events ("i") with args for forks, joins, steals, and
+// space-bounded anchor decisions. Timestamps are converted to microseconds
+// using the recorder's ticks_per_second (virtual cycles become virtual µs).
+#pragma once
+
+#include <string>
+
+#include "trace/recorder.h"
+
+namespace sbs::trace {
+
+/// Run metadata embedded in the trace (shown by Perfetto's info panel).
+struct TraceInfo {
+  std::string engine;     ///< "threads" or "sim"
+  std::string scheduler;  ///< e.g. "SB-D"
+  std::string machine;    ///< preset name
+  std::string label;      ///< free-form (kernel, bandwidth, ...)
+};
+
+/// Write the recorder's surviving events to `path`. Returns false if the
+/// file could not be written.
+bool WriteChromeTrace(const Recorder& recorder, const std::string& path,
+                      const TraceInfo& info = TraceInfo());
+
+}  // namespace sbs::trace

@@ -1,0 +1,58 @@
+// Trace event vocabulary for the execution-tracing subsystem.
+//
+// Events are fixed-size PODs recorded into per-worker ring buffers (see
+// recorder.h). Timestamps are ticks since the start of the run: nanoseconds
+// on the real thread-pool engine, virtual cycles on the PMH simulator — the
+// Recorder knows which and exporters convert.
+//
+// Three shapes share one struct:
+//   complete   [ts, ts+dur): kStrand, kAdd, kDone, kEmpty
+//   paired     kGetBegin / kGetEnd — get() is split so that events emitted
+//              *inside* the callback (steals, anchors) nest between the two
+//              and every worker's ring stays timestamp-ordered
+//   instant    a point with payload: forks, joins, steals, anchors, stalls
+#pragma once
+
+#include <cstdint>
+
+namespace sbs::trace {
+
+enum class EventKind : std::uint16_t {
+  // --- complete events (ts + dur) ---
+  kStrand = 0,  ///< one strand executed; dur = active time
+  kAdd,         ///< Scheduler::add calls after one settle; dur = callback time
+  kDone,        ///< Scheduler::done; dur = callback time
+  kEmpty,       ///< get() returned nullptr; dur = stall until the next get
+  // --- paired events ---
+  kGetBegin,  ///< Scheduler::get entry
+  kGetEnd,    ///< Scheduler::get exit; a = 1 if a job was returned
+  // --- instant events ---
+  kFork,          ///< strand ended in a fork; a = number of children
+  kJoin,          ///< task completion released the enclosing continuation
+  kStealAttempt,  ///< a = victim worker probed
+  kStealSuccess,  ///< a = victim worker robbed
+  kAnchor,  ///< SB anchored a maximal task; a = befitting cache tree depth,
+            ///< b = cache node id, dur = task size S(t;B) in bytes
+  kAdmissionFail,  ///< SB bounded-occupancy admission failed; a = befitting
+                   ///< depth, b = node whose bucket held the task
+  kNumKinds,
+};
+
+struct Event {
+  std::uint64_t ts = 0;   ///< ticks since run start (ns real / cycles virtual)
+  std::uint64_t dur = 0;  ///< complete events; kAnchor reuses it for bytes
+  std::uint64_t a = 0;    ///< payload (see EventKind)
+  std::uint64_t b = 0;
+  EventKind kind = EventKind::kStrand;
+};
+
+/// Stable lower-case name ("strand", "steal_attempt", ...) used by both
+/// exporters, so trace consumers can key on it.
+const char* KindName(EventKind kind);
+
+/// True for kFork..kAdmissionFail (exported as Chrome instant events).
+inline bool IsInstant(EventKind kind) {
+  return kind >= EventKind::kFork && kind < EventKind::kNumKinds;
+}
+
+}  // namespace sbs::trace

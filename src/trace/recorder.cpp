@@ -1,0 +1,98 @@
+#include "trace/recorder.h"
+
+namespace sbs::trace {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::atomic<Recorder*> g_active{nullptr};
+
+}  // namespace
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStrand: return "strand";
+    case EventKind::kAdd: return "add";
+    case EventKind::kDone: return "done";
+    case EventKind::kEmpty: return "empty";
+    case EventKind::kGetBegin: return "get";
+    case EventKind::kGetEnd: return "get";
+    case EventKind::kFork: return "fork";
+    case EventKind::kJoin: return "join";
+    case EventKind::kStealAttempt: return "steal_attempt";
+    case EventKind::kStealSuccess: return "steal_success";
+    case EventKind::kAnchor: return "anchor";
+    case EventKind::kAdmissionFail: return "admission_fail";
+    case EventKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+Recorder::Recorder(int num_workers, std::size_t capacity_per_worker) {
+  SBS_CHECK(num_workers >= 1);
+  SBS_CHECK(capacity_per_worker >= 2);
+  const std::size_t capacity = round_up_pow2(capacity_per_worker);
+  rings_.resize(static_cast<std::size_t>(num_workers));
+  for (Ring& ring : rings_) {
+    ring.slots.resize(capacity);
+    ring.mask = capacity - 1;
+  }
+}
+
+void Recorder::begin_run(bool virtual_time, double ticks_per_second) {
+  virtual_ = virtual_time;
+  ticks_per_second_ = ticks_per_second;
+  epoch_ = std::chrono::steady_clock::now();
+  for (Ring& ring : rings_) {
+    ring.head = 0;
+    ring.virtual_now = 0;
+  }
+}
+
+std::vector<Event> Recorder::events(int worker) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(worker)];
+  const std::uint64_t capacity = ring.mask + 1;
+  const std::uint64_t count = std::min(ring.head, capacity);
+  std::vector<Event> out;
+  out.reserve(count);
+  for (std::uint64_t i = ring.head - count; i < ring.head; ++i)
+    out.push_back(ring.slots[i & ring.mask]);
+  return out;
+}
+
+std::uint64_t Recorder::recorded(int worker) const {
+  return rings_[static_cast<std::size_t>(worker)].head;
+}
+
+std::uint64_t Recorder::dropped(int worker) const {
+  const Ring& ring = rings_[static_cast<std::size_t>(worker)];
+  const std::uint64_t capacity = ring.mask + 1;
+  return ring.head > capacity ? ring.head - capacity : 0;
+}
+
+std::uint64_t Recorder::total_recorded() const {
+  std::uint64_t n = 0;
+  for (int w = 0; w < num_workers(); ++w) n += recorded(w);
+  return n;
+}
+
+std::uint64_t Recorder::total_dropped() const {
+  std::uint64_t n = 0;
+  for (int w = 0; w < num_workers(); ++w) n += dropped(w);
+  return n;
+}
+
+Recorder* active() { return g_active.load(std::memory_order_acquire); }
+
+Scope::Scope(Recorder* recorder) {
+  g_active.store(recorder, std::memory_order_release);
+}
+
+Scope::~Scope() { g_active.store(nullptr, std::memory_order_release); }
+
+}  // namespace sbs::trace

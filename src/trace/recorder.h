@@ -1,0 +1,126 @@
+// Low-overhead per-worker event recorder.
+//
+// One fixed-capacity ring buffer per worker; a worker only ever writes its
+// own ring, so the hot path is a plain store + index increment — no locks,
+// no atomics, no allocation. When a ring fills, the oldest events are
+// overwritten (newest-wins) and a dropped counter keeps the books honest.
+//
+// Two clock domains, chosen per run by the owning engine:
+//   real     ticks = nanoseconds of steady_clock since begin_run()
+//   virtual  ticks = the simulator's per-core virtual cycle clocks, fed in
+//            through set_now() before each scheduler callback
+//
+// Scheduler code (ws.cpp, sb.cpp, ...) emits through the process-global
+// hook `trace::emit(...)`: engines install their recorder with a trace::Scope
+// for the duration of a run. When no recorder is installed — the common,
+// untraced case — emit() is one relaxed atomic load and a branch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+#include "util/assert.h"
+
+namespace sbs::trace {
+
+class Recorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 15;  ///< per worker
+
+  /// `capacity_per_worker` is rounded up to a power of two.
+  explicit Recorder(int num_workers,
+                    std::size_t capacity_per_worker = kDefaultCapacity);
+
+  /// Reset all rings and select the clock domain for the coming run.
+  /// `ticks_per_second` converts timestamps for exporters (1e9 for the real
+  /// engine's nanoseconds; cycles/s for the simulator).
+  void begin_run(bool virtual_time, double ticks_per_second);
+
+  int num_workers() const { return static_cast<int>(rings_.size()); }
+  bool virtual_time() const { return virtual_; }
+  double ticks_per_second() const { return ticks_per_second_; }
+
+  // --- hot path (per-worker, single writer) ---
+
+  void record(int worker, EventKind kind, std::uint64_t ts,
+              std::uint64_t dur = 0, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    Ring& ring = rings_[static_cast<std::size_t>(worker)];
+    ring.slots[ring.head & ring.mask] = Event{ts, dur, a, b, kind};
+    ++ring.head;
+  }
+
+  /// Record with the current timestamp — the form scheduler code uses.
+  void record_now(int worker, EventKind kind, std::uint64_t a = 0,
+                  std::uint64_t b = 0, std::uint64_t dur = 0) {
+    record(worker, kind, now(worker), dur, a, b);
+  }
+
+  /// The simulator publishes each core's virtual clock here before invoking
+  /// a scheduler callback, so events emitted inside carry virtual time.
+  void set_now(int worker, std::uint64_t ticks) {
+    rings_[static_cast<std::size_t>(worker)].virtual_now = ticks;
+  }
+
+  std::uint64_t now(int worker) const {
+    if (virtual_) return rings_[static_cast<std::size_t>(worker)].virtual_now;
+    return ticks_of(std::chrono::steady_clock::now());
+  }
+
+  /// Real-mode conversion of an already-taken timepoint (the thread pool
+  /// reuses the timestamps it takes for RunStats — no extra clock reads).
+  std::uint64_t ticks_of(std::chrono::steady_clock::time_point tp) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+            .count());
+  }
+
+  // --- snapshot (after the run; not concurrent with recording) ---
+
+  /// Surviving events of one worker, oldest first.
+  std::vector<Event> events(int worker) const;
+  /// Events ever recorded by one worker (including overwritten ones).
+  std::uint64_t recorded(int worker) const;
+  /// Events lost to ring wraparound.
+  std::uint64_t dropped(int worker) const;
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_dropped() const;
+
+ private:
+  struct alignas(64) Ring {
+    std::vector<Event> slots;
+    std::uint64_t mask = 0;
+    std::uint64_t head = 0;  ///< total events written (monotone)
+    std::uint64_t virtual_now = 0;
+  };
+
+  std::vector<Ring> rings_;
+  bool virtual_ = false;
+  double ticks_per_second_ = 1e9;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// The recorder scheduler-side emits go to (nullptr when tracing is off).
+Recorder* active();
+
+/// RAII installation of the process-global recorder for one engine run.
+class Scope {
+ public:
+  explicit Scope(Recorder* recorder);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+};
+
+/// Emission hook for scheduler code. One load + branch when tracing is off.
+inline void emit(int worker, EventKind kind, std::uint64_t a = 0,
+                 std::uint64_t b = 0, std::uint64_t dur = 0) {
+  if (Recorder* recorder = active()) {
+    recorder->record_now(worker, kind, a, b, dur);
+  }
+}
+
+}  // namespace sbs::trace

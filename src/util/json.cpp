@@ -1,0 +1,264 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace sbs {
+
+// --- writer ---
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SBS_ASSERT(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SBS_ASSERT(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  comma();
+  out_ += '"';
+  out_ += JsonEscape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int number) {
+  return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- validating parser (recursive descent) ---
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos >= text.size() || text[pos] != *p) return fail("bad literal");
+      ++pos;
+    }
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return fail("expected string");
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control char");
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("truncated escape");
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos >= text.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text[pos])))
+              return fail("bad \\u escape");
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos;
+    consume('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad number");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad fraction");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos;
+      if (peek() == '+' || peek() == '-') ++pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
+    }
+    return pos > start;
+  }
+
+  char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+
+  bool value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  Parser parser{text};
+  bool ok = parser.value();
+  if (ok) {
+    parser.skip_ws();
+    if (parser.pos != text.size()) {
+      ok = parser.fail("trailing garbage");
+    }
+  }
+  if (!ok && error != nullptr) *error = parser.error;
+  return ok;
+}
+
+}  // namespace sbs

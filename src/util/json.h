@@ -1,0 +1,54 @@
+// Minimal JSON support: a streaming writer for the machine-readable outputs
+// (metrics JSONL, BENCH_*.json) and a validating parser used by tests to
+// check that exported files are well-formed.
+//
+// Deliberately tiny — no DOM, no external dependency. The writer tracks
+// nesting and comma placement; values are escaped per RFC 8259. Numbers are
+// emitted with enough precision to round-trip doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number);
+  JsonWriter& value(bool flag);
+
+  /// Shorthand for key(name).value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    return key(name).value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one entry per open object/array
+  bool after_key_ = false;
+};
+
+std::string JsonEscape(const std::string& text);
+
+/// Validate that `text` is one complete JSON value (trailing whitespace ok).
+/// On failure returns false and, if `error` is non-null, a brief message
+/// with the byte offset.
+bool JsonValidate(const std::string& text, std::string* error = nullptr);
+
+}  // namespace sbs

@@ -188,6 +188,31 @@ TEST(Runtime, RunStatsAveragesAreConsistent) {
   EXPECT_EQ(stats.total_strands(), 40u);
 }
 
+TEST(Runtime, RunStatsAveragesIncludeIdleWorkers) {
+  // The documented convention (§3.3): idle workers contribute 0 to the
+  // numerator but still count in the denominator.
+  RunStats stats;
+  stats.per_thread.resize(4);
+  stats.per_thread[0] = {4.0, 0.4, 0, 0, 0, 8};
+  stats.per_thread[1] = {2.0, 0, 0, 0, 0, 4};
+  // Threads 2 and 3 never ran a strand.
+  EXPECT_DOUBLE_EQ(stats.avg_active_s(), 1.5);  // 6.0 / 4, not 6.0 / 2
+  EXPECT_NEAR(stats.avg_overhead_s(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.max_active_s(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.max(&ThreadBreakdown::add_s), 0.4);
+  EXPECT_NEAR(stats.imbalance(), 4.0 / 1.5, 1e-12);
+}
+
+TEST(Runtime, RunStatsEmptyAndAllIdleEdgeCases) {
+  RunStats stats;
+  EXPECT_DOUBLE_EQ(stats.avg_active_s(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 0.0);
+  stats.per_thread.resize(3);  // all idle
+  EXPECT_DOUBLE_EQ(stats.avg_active_s(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max_active_s(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.imbalance(), 0.0);  // no division by zero
+}
+
 TEST(Runtime, SBRefusesUnannotatedRoot) {
   const Topology topo(Preset("mini"));
   auto sched = MakeScheduler("SB");
