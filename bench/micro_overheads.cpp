@@ -7,17 +7,27 @@
 // two-lock deque should be several times cheaper per strand than the
 // space-bounded tree walk.
 //
-// After the google-benchmark suite, a recorder-overhead cell measures the
-// cost of the tracing subsystem itself (traced vs untraced fork-join runs)
-// and writes it to BENCH_micro_overheads.json.
+// After the google-benchmark suite, a set of JSON cells is written to
+// BENCH_micro_overheads.json:
+//   - recorder_overhead: cost of the tracing subsystem (traced vs untraced)
+//   - deque_add_get / deque_steal: the seed's locked std::deque scheduler
+//     queue (kept here as the baseline) vs the Chase-Lev deque that now
+//     backs WS/PWS, same binary so the delta is directly comparable
+//   - fork_alloc: heap operator new vs the per-worker JobArena for
+//     Job-sized allocations
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <deque>
 
 #include "machine/topology.h"
+#include "runtime/job_arena.h"
 #include "runtime/jobs.h"
 #include "runtime/thread_pool.h"
+#include "sched/chase_lev.h"
+#include "sched/ops.h"
 #include "sched/registry.h"
 #include "util/json.h"
 
@@ -81,10 +91,148 @@ double best_wall_s(runtime::ThreadPool& pool, int reps) {
   return best;
 }
 
-/// Traced-vs-untraced cost of the recorder hot path, written to
-/// BENCH_micro_overheads.json. The acceptance bar is <1% slowdown with
-/// tracing disabled; the traced figure quantifies the enabled cost too.
-void recorder_overhead_cell() {
+/// The scheduler queue WS/PWS shipped with before the Chase-Lev switch:
+/// one spinlock in front of a std::deque. Retained verbatim as the bench
+/// baseline so the two hot paths are always measured in the same binary.
+struct LockedDeque {
+  sched::Spinlock lock;
+  std::deque<Job*> jobs;
+
+  void add(Job* job) {
+    sched::SpinGuard guard(lock);
+    sched::count_op();
+    jobs.push_back(job);
+  }
+  Job* get() {  // owner: LIFO
+    sched::SpinGuard guard(lock);
+    sched::count_op();
+    if (jobs.empty()) return nullptr;
+    Job* job = jobs.back();
+    jobs.pop_back();
+    return job;
+  }
+  Job* steal() {  // thief: FIFO
+    sched::SpinGuard guard(lock);
+    sched::count_op();
+    if (jobs.empty()) return nullptr;
+    Job* job = jobs.front();
+    jobs.pop_front();
+    return job;
+  }
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Fake job pointers: the queues never dereference their payload.
+inline Job* fake_job(std::size_t i) {
+  return reinterpret_cast<Job*>((i + 1) << 4);
+}
+
+constexpr std::size_t kQueueBatch = 128;
+constexpr std::size_t kQueuePairs = std::size_t{1} << 20;
+constexpr int kQueueReps = 5;
+
+/// Owner-side add+get throughput (ops/sec; one push or one pop = one op)
+/// of the locked baseline, single-threaded — the uncontended fast path the
+/// scheduler pays on every strand.
+double locked_add_get_ops_per_sec() {
+  LockedDeque dq;
+  double best = 1e300;
+  for (int rep = 0; rep < kQueueReps; ++rep) {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < kQueuePairs; i += kQueueBatch) {
+      for (std::size_t k = 0; k < kQueueBatch; ++k) dq.add(fake_job(i + k));
+      for (std::size_t k = 0; k < kQueueBatch; ++k)
+        benchmark::DoNotOptimize(dq.get());
+    }
+    best = std::min(best, now_s() - t0);
+  }
+  return 2.0 * static_cast<double>(kQueuePairs) / best;
+}
+
+double chase_lev_add_get_ops_per_sec() {
+  sched::ChaseLevDeque<Job*> dq;
+  double best = 1e300;
+  for (int rep = 0; rep < kQueueReps; ++rep) {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < kQueuePairs; i += kQueueBatch) {
+      for (std::size_t k = 0; k < kQueueBatch; ++k)
+        dq.push_bottom(fake_job(i + k));
+      Job* out = nullptr;
+      for (std::size_t k = 0; k < kQueueBatch; ++k) {
+        benchmark::DoNotOptimize(dq.pop_bottom(&out));
+      }
+    }
+    best = std::min(best, now_s() - t0);
+  }
+  return 2.0 * static_cast<double>(kQueuePairs) / best;
+}
+
+/// Thief-side throughput: victim pre-fills, a single thief drains FIFO.
+/// (Uncontended: measures the per-steal instruction cost, not cache
+/// ping-pong, which test_chase_lev stresses separately.)
+double locked_steal_ops_per_sec() {
+  LockedDeque dq;
+  double best = 1e300;
+  for (int rep = 0; rep < kQueueReps; ++rep) {
+    for (std::size_t i = 0; i < kQueuePairs; ++i) dq.add(fake_job(i));
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < kQueuePairs; ++i)
+      benchmark::DoNotOptimize(dq.steal());
+    best = std::min(best, now_s() - t0);
+  }
+  return static_cast<double>(kQueuePairs) / best;
+}
+
+double chase_lev_steal_ops_per_sec() {
+  sched::ChaseLevDeque<Job*> dq;
+  double best = 1e300;
+  for (int rep = 0; rep < kQueueReps; ++rep) {
+    for (std::size_t i = 0; i < kQueuePairs; ++i)
+      dq.push_bottom(fake_job(i));
+    const double t0 = now_s();
+    Job* out = nullptr;
+    for (std::size_t i = 0; i < kQueuePairs; ++i)
+      benchmark::DoNotOptimize(dq.steal_top(&out));
+    best = std::min(best, now_s() - t0);
+  }
+  return static_cast<double>(kQueuePairs) / best;
+}
+
+constexpr std::size_t kAllocBatch = 64;
+constexpr std::size_t kAllocTotal = std::size_t{1} << 20;
+constexpr int kAllocReps = 5;
+
+/// Fork-allocation throughput (allocate + free of a LambdaJob = one op),
+/// in batches of 64 live jobs — the lifetime shape of a fork's children.
+/// With no arena scope installed, ArenaBacked falls through to the heap;
+/// that fallback is exactly the "heap" cell.
+double job_alloc_ops_per_sec(runtime::JobArena* arena) {
+  runtime::JobArena::Scope scope(arena);
+  Job* live[kAllocBatch];
+  double best = 1e300;
+  for (int rep = 0; rep < kAllocReps; ++rep) {
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < kAllocTotal; i += kAllocBatch) {
+      for (std::size_t k = 0; k < kAllocBatch; ++k) {
+        live[k] = make_job([](Strand&) {}, 64);
+      }
+      benchmark::DoNotOptimize(live[0]);
+      for (std::size_t k = 0; k < kAllocBatch; ++k) delete live[k];
+    }
+    best = std::min(best, now_s() - t0);
+  }
+  return static_cast<double>(kAllocTotal) / best;
+}
+
+/// Writes BENCH_micro_overheads.json: the recorder's traced-vs-untraced
+/// cost (acceptance bar: <1% slowdown with tracing disabled), the locked
+/// vs Chase-Lev queue cells, and the heap vs arena allocation cells.
+void write_bench_cells() {
   const machine::Topology topo(machine::Preset("mini"));
   constexpr int kReps = 5;
 
@@ -100,10 +248,20 @@ void recorder_overhead_cell() {
   const double slowdown_pct = 100.0 * (traced_s / untraced_s - 1.0);
   const double events_per_sec = static_cast<double>(events) / traced_s;
 
+  // Queue and allocator hot-path cells (same binary, same flags, so the
+  // locked-baseline vs lock-free delta is an apples-to-apples figure).
+  const double locked_ag = locked_add_get_ops_per_sec();
+  const double cl_ag = chase_lev_add_get_ops_per_sec();
+  const double locked_st = locked_steal_ops_per_sec();
+  const double cl_st = chase_lev_steal_ops_per_sec();
+  const double heap_alloc = job_alloc_ops_per_sec(nullptr);
+  runtime::JobArena arena;
+  const double arena_alloc = job_alloc_ops_per_sec(&arena);
+
   JsonWriter w;
   w.begin_object();
   w.kv("bench", "micro_overheads");
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.key("recorder_overhead").begin_object();
   w.kv("machine", "mini");
   w.kv("workload", "fork_tree(11) under WS, best of 5");
@@ -113,6 +271,24 @@ void recorder_overhead_cell() {
   w.kv("events", events);
   w.kv("dropped_events", dropped);
   w.kv("events_per_sec", events_per_sec);
+  w.end_object();
+  w.key("deque_add_get").begin_object();
+  w.kv("workload", "owner push+pop, batches of 128, best of 5");
+  w.kv("locked_deque_ops_per_sec", locked_ag);
+  w.kv("chase_lev_ops_per_sec", cl_ag);
+  w.kv("speedup", cl_ag / locked_ag);
+  w.end_object();
+  w.key("deque_steal").begin_object();
+  w.kv("workload", "single thief drains prefilled deque, best of 5");
+  w.kv("locked_deque_ops_per_sec", locked_st);
+  w.kv("chase_lev_ops_per_sec", cl_st);
+  w.kv("speedup", cl_st / locked_st);
+  w.end_object();
+  w.key("fork_alloc").begin_object();
+  w.kv("workload", "LambdaJob new+delete, 64 live, best of 5");
+  w.kv("heap_ops_per_sec", heap_alloc);
+  w.kv("arena_ops_per_sec", arena_alloc);
+  w.kv("speedup", arena_alloc / heap_alloc);
   w.end_object();
   w.end_object();
 
@@ -128,6 +304,12 @@ void recorder_overhead_cell() {
       "%llu events (%.1fM events/s) -> %s\n",
       untraced_s, traced_s, slowdown_pct,
       static_cast<unsigned long long>(events), events_per_sec / 1e6, path);
+  std::printf("deque add+get: locked %.1fM ops/s, chase-lev %.1fM ops/s (%.2fx)\n",
+              locked_ag / 1e6, cl_ag / 1e6, cl_ag / locked_ag);
+  std::printf("deque steal:   locked %.1fM ops/s, chase-lev %.1fM ops/s (%.2fx)\n",
+              locked_st / 1e6, cl_st / 1e6, cl_st / locked_st);
+  std::printf("fork alloc:    heap %.1fM ops/s, arena %.1fM ops/s (%.2fx)\n",
+              heap_alloc / 1e6, arena_alloc / 1e6, arena_alloc / heap_alloc);
 }
 
 }  // namespace
@@ -149,6 +331,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  recorder_overhead_cell();
+  write_bench_cells();
   return 0;
 }

@@ -51,6 +51,7 @@ bool BenchReport::write(const std::string& path) const {
       w.kv("dram_reads", c.dram_reads);
       w.kv("queue_wait_cycles", c.queue_wait_cycles);
       w.kv("strands", c.strands);
+      w.kv("empty_wakeups", c.empty_wakeups);
       w.kv("verified", c.verified);
       w.end_object();
     }

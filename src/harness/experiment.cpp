@@ -102,6 +102,7 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
         reads.push_back(static_cast<double>(r.counters.dram_reads));
         queue.push_back(static_cast<double>(r.counters.queue_wait_cycles));
         cell.strands = r.stats.total_strands();
+        cell.empty_wakeups = r.stats.total_empty_wakeups();
         cell.sched_stats = r.sched_stats;
         if (spec.verify && rep == 0) {
           cell.verified = kernel->verify();

@@ -64,6 +64,9 @@ struct CellResult {
   double dram_reads = 0;
   double queue_wait_cycles = 0;
   std::uint64_t strands = 0;
+  /// Scheduler polls that returned no job (last repetition's total across
+  /// workers) — the pressure on the engines' idle-backoff path.
+  std::uint64_t empty_wakeups = 0;
 
   bool verified = true;
   std::string sched_stats;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/job_arena.h"
 #include "util/assert.h"
 
 namespace sbs::runtime {
@@ -28,9 +29,20 @@ class Strand;
 
 inline constexpr std::uint64_t kNoSize = ~std::uint64_t{0};
 
+/// Mixin routing a type's new/delete through the calling worker's JobArena
+/// (heap fallback outside an engine). Jobs, Tasks and JoinCounters are
+/// allocated at every fork and freed at every join — the arena keeps that
+/// churn off the global heap and off the measured scheduler overheads.
+struct ArenaBacked {
+  static void* operator new(std::size_t bytes) {
+    return JobArena::allocate(bytes);
+  }
+  static void operator delete(void* p) noexcept { JobArena::deallocate(p); }
+};
+
 /// Join bookkeeping for one parallel block: when `remaining` task
 /// completions have been observed, the continuation strand is released.
-struct JoinCounter {
+struct JoinCounter : ArenaBacked {
   explicit JoinCounter(int count, Job* cont)
       : remaining(count), continuation(cont) {}
   std::atomic<int> remaining;
@@ -41,7 +53,7 @@ struct JoinCounter {
 /// state (e.g. the cache a space-bounded scheduler anchored the task to)
 /// lives in the `anchor`/`attr` slots so the same struct serves every
 /// scheduler without casts.
-struct Task {
+struct Task : ArenaBacked {
   explicit Task(Task* parent_task) : parent(parent_task) {}
   Task* parent;  ///< enclosing task; nullptr for the root task.
 
@@ -53,8 +65,10 @@ struct Task {
 };
 
 /// One strand of a task. Derive and implement execute(); the body may call
-/// Strand::fork() at most once, as its final action.
-class Job {
+/// Strand::fork() at most once, as its final action. Concrete jobs are
+/// arena-allocated (see ArenaBacked); subclasses must not require alignment
+/// beyond alignof(std::max_align_t).
+class Job : public ArenaBacked {
  public:
   virtual ~Job() = default;
 

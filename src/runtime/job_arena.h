@@ -1,0 +1,110 @@
+// JobArena — per-worker slab allocator for the fork/join hot path.
+//
+// Every fork allocates a Job per child, a Task per child, and a JoinCounter;
+// every join frees them. Routing those through the global heap puts one
+// malloc/free pair (lock traffic, size-class lookups, cross-thread cache
+// misses) on the critical path of every strand — overhead the framework
+// would otherwise attribute to the scheduler under measurement (§3.3).
+//
+// The arena is a classic slab + size-class free-list design:
+//   - blocks are carved from 64 KiB slabs at cache-line-aligned, size-class
+//     strides (64..512 bytes), so two blocks never share a line with blocks
+//     handed to another thread;
+//   - each block starts with a 16-byte header naming its owning arena and
+//     size class; the payload follows at +16 (16-byte aligned);
+//   - frees by the owning worker push onto a plain per-class free list;
+//   - frees by *other* workers (a stolen continuation settles on the thief)
+//     push onto the owner's lock-free remote list (Treiber stack, push-only
+//     producers + whole-chain exchange by the single consumer — no ABA);
+//   - allocation pops local first, then drains the remote list, then bumps
+//     the slab; oversized or out-of-scope allocations fall back to the heap
+//     (header owner = nullptr), so the arena is always safe to bypass.
+//
+// Threading contract: an arena is made "current" on a thread with
+// JobArena::Scope; allocate() and owner-side frees must run on the thread
+// where the arena is current (one arena per worker — the engines arrange
+// this). Remote frees may come from any thread at any time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sbs::runtime {
+
+class JobArena {
+ public:
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::size_t kGranularity = 64;  ///< block stride quantum
+  static constexpr std::size_t kClasses = 8;       ///< strides 64..512 bytes
+  static constexpr std::size_t kMaxBlockBytes = kClasses * kGranularity;
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 16;
+
+  JobArena() = default;
+  ~JobArena();
+
+  JobArena(const JobArena&) = delete;
+  JobArena& operator=(const JobArena&) = delete;
+
+  /// Route allocations on the constructing thread through `arena` for the
+  /// scope's lifetime (nullptr = heap fallback). Nests; restores on exit.
+  class Scope {
+   public:
+    explicit Scope(JobArena* arena);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    JobArena* prev_;
+  };
+
+  /// The arena current on this thread, or nullptr.
+  static JobArena* current();
+
+  /// Allocate `bytes` of payload through the current arena (heap fallback
+  /// when no arena is current or the payload exceeds kMaxBlockBytes-16).
+  static void* allocate(std::size_t bytes);
+  /// Free a pointer obtained from allocate(); callable from any thread.
+  static void deallocate(void* payload);
+
+  // --- introspection (tests and benches) ---
+  /// Blocks allocated from this arena and not yet freed (remote frees still
+  /// parked on the remote lists count as freed).
+  std::uint64_t blocks_live() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slab_count() const { return slabs_.size(); }
+
+  /// Forget all free lists and make every slab's memory available again.
+  /// Caller must guarantee no block of this arena is still live (owner
+  /// thread only, no concurrent remote frees in flight).
+  void reset();
+
+ private:
+  struct Header {
+    JobArena* owner;    ///< nullptr = heap-backed block
+    std::uint32_t cls;  ///< size-class index, 0-based
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(Header) <= kHeaderBytes, "header must fit the stride");
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void* allocate_block(std::size_t payload_bytes);
+  void free_local(Header* h);
+  void free_remote(Header* h);
+  char* carve(std::size_t stride);
+
+  FreeNode* local_free_[kClasses] = {};
+  std::atomic<FreeNode*> remote_free_[kClasses] = {};
+  std::vector<char*> slabs_;       ///< raw (unaligned) slab pointers
+  std::size_t next_slab_ = 0;      ///< first slab not yet bump-carved
+  char* bump_ = nullptr;
+  char* slab_end_ = nullptr;
+  std::atomic<std::uint64_t> live_{0};
+};
+
+}  // namespace sbs::runtime

@@ -12,7 +12,8 @@ std::string RunStats::summary() const {
       << fmt_seconds(avg_active_s()) << " (max " << fmt_seconds(max_active_s())
       << ", imb " << fmt_double(imbalance(), 2) << "x), avg overhead "
       << fmt_seconds(avg_overhead_s()) << " (empty "
-      << fmt_seconds(avg_empty_s()) << "), " << total_strands() << " strands";
+      << fmt_seconds(avg_empty_s()) << ", " << total_empty_wakeups()
+      << " wakeups), " << total_strands() << " strands";
   return out.str();
 }
 

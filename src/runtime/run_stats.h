@@ -20,6 +20,9 @@ struct ThreadBreakdown {
   double get_s = 0;
   double empty_s = 0;
   std::uint64_t strands = 0;  ///< strands executed by this thread
+  /// get() calls that returned nothing (each one triggers an idle-backoff
+  /// step on the real engine / an idle clock jump on the simulator).
+  std::uint64_t empty_wakeups = 0;
 
   double overhead_s() const { return add_s + done_s + get_s + empty_s; }
   double total_s() const { return active_s + overhead_s(); }
@@ -66,6 +69,13 @@ struct RunStats {
   std::uint64_t total_strands() const {
     std::uint64_t n = 0;
     for (const auto& t : per_thread) n += t.strands;
+    return n;
+  }
+  /// Empty get() results across all workers — with idle backoff this stays
+  /// modest even for long stalls (workers sleep instead of hammering get()).
+  std::uint64_t total_empty_wakeups() const {
+    std::uint64_t n = 0;
+    for (const auto& t : per_thread) n += t.empty_wakeups;
     return n;
   }
 

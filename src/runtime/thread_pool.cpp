@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/strand_ops.h"
+#include "sched/ops.h"
 #include "util/assert.h"
 
 namespace sbs::runtime {
@@ -38,12 +39,37 @@ struct alignas(64) WorkerSlot {
   ThreadBreakdown times;
 };
 
+// Tiered idle backoff: a worker whose get() returned nothing first spins
+// with `pause` (cheap, keeps the thread hot for an immediate retry), then
+// yields to the OS, then sleeps in short bursts. Without this, every idle
+// core hammers get() in a tight loop, saturating victim deques and SB node
+// locks with probe traffic — overhead charged to the *scheduler* in §3.3
+// even though it is pure engine behaviour. The streak resets whenever a job
+// arrives, so the fast tiers always cover the transient case; the sleep
+// tier caps wakeup latency at kIdleSleep.
+constexpr int kSpinRounds = 8;    // streaks 0..7: 1..128 pause iterations
+constexpr int kYieldRounds = 16;  // streaks 8..23: sched_yield
+constexpr auto kIdleSleep = std::chrono::microseconds(50);
+
+void idle_backoff(int streak) {
+  if (streak < kSpinRounds) {
+    for (int i = 0; i < (1 << streak); ++i) sched::cpu_relax();
+  } else if (streak < kSpinRounds + kYieldRounds) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(kIdleSleep);
+  }
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(const machine::Topology& topo, int num_threads)
     : topo_(topo),
       num_threads_(num_threads < 0 ? topo.num_threads() : num_threads) {
   SBS_CHECK(num_threads_ >= 1 && num_threads_ <= topo.num_threads());
+  arenas_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t)
+    arenas_.push_back(std::make_unique<JobArena>());
 }
 
 void ThreadPool::enable_tracing(std::size_t events_per_worker) {
@@ -69,8 +95,10 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
 
   auto worker = [&](int tid) {
     try_pin(static_cast<int>(static_cast<unsigned>(tid) % host_cpus));
+    JobArena::Scope arena_scope(arenas_[static_cast<std::size_t>(tid)].get());
     ThreadBreakdown& bd = slots[static_cast<std::size_t>(tid)].times;
     std::vector<Job*> to_add;
+    int idle_streak = 0;
     using trace::EventKind;
     while (!finished.load(std::memory_order_acquire)) {
       auto t0 = Clock::now();
@@ -83,7 +111,8 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
                     job != nullptr ? 1 : 0);
       }
       if (job == nullptr) {
-        std::this_thread::yield();
+        ++bd.empty_wakeups;
+        idle_backoff(idle_streak++);
         auto t2 = Clock::now();
         bd.empty_s += seconds_between(t1, t2);
         if (rec) {
@@ -92,6 +121,7 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
         }
         continue;
       }
+      idle_streak = 0;
 
       Strand strand(tid, num_threads_);
       auto t2 = Clock::now();

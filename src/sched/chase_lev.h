@@ -1,7 +1,9 @@
 // Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory ordering
 // after Lê et al., PPoPP 2013). Owner pushes/pops at the bottom without
-// locks; thieves steal from the top with a single CAS. Used by the CilkWS
-// scheduler as a stand-in for the THE-protocol deques of Cilk Plus.
+// locks; thieves steal from the top with a single CAS. Backs the hot paths
+// of every work-stealing scheduler here (WS, PWS, CilkWS); `top_` and
+// `bottom_` live on separate cache lines so thief CAS traffic does not
+// invalidate the owner's push/pop line.
 #pragma once
 
 #include <atomic>
@@ -37,8 +39,10 @@ class ChaseLevDeque {
       ring = grow(ring, t, b);
     }
     ring->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store: a thief that acquire-loads bottom_ and sees b+1 also
+    // sees the slot write above *and* every preceding write to the item
+    // itself (jobs are published fully initialized).
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. Returns false when empty.
@@ -73,7 +77,7 @@ class ChaseLevDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
-    Ring* ring = buffer_.load(std::memory_order_consume);
+    Ring* ring = buffer_.load(std::memory_order_acquire);
     T item = ring->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
@@ -113,8 +117,8 @@ class ChaseLevDeque {
     return bigger;
   }
 
-  std::atomic<std::int64_t> top_{0};
-  std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
   std::atomic<Ring*> buffer_;
   std::vector<Ring*> retired_;  // owner-only mutation (inside push_bottom)
 };

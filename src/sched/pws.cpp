@@ -23,22 +23,34 @@ void PriorityWorkStealing::start(const machine::Topology& topo,
 }
 
 int PriorityWorkStealing::steal_choice(int thread_id) {
+  if (num_threads_ < 2) return -1;
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
   const auto& local =
       socket_members_[static_cast<std::size_t>(
           socket_of_thread_[static_cast<std::size_t>(thread_id)])];
-  const std::size_t n_local = local.size();
+  // The caller is never its own victim: a self-steal after the
+  // local-deque-empty check is a guaranteed failed attempt.
+  const std::size_t n_local = local.size() - 1;
   const std::size_t n_total = static_cast<std::size_t>(num_threads_);
-  const std::size_t n_remote = n_total - n_local;
+  const std::size_t n_remote = n_total - local.size();
 
-  // Weighted coin: each local candidate has weight `intra_weight_`, each
-  // remote candidate weight 1 (the caller itself stays a candidate, exactly
-  // like the paper's WS code, where a self-steal just finds an empty deque).
+  // Weighted coin: each intra-socket candidate has weight `intra_weight_`,
+  // each remote candidate weight 1.
   const double w_local = intra_weight_ * static_cast<double>(n_local);
   const double w_total = w_local + static_cast<double>(n_remote);
-  if (n_remote == 0 || self.rng.next_double() * w_total < w_local) {
-    return local[self.rng.next_below(n_local)];
+  const bool pick_local =
+      n_local > 0 &&
+      (n_remote == 0 || self.rng.next_double() * w_total < w_local);
+  if (pick_local) {
+    // Uniform among intra-socket peers, skipping the caller.
+    std::uint64_t k = self.rng.next_below(n_local);
+    for (const int t : local) {
+      if (t == thread_id) continue;
+      if (k-- == 0) return t;
+    }
+    SBS_CHECK_MSG(false, "PWS: local victim selection out of range");
   }
+  if (n_remote == 0) return -1;  // alone on the only socket
   // Uniform among remote threads: skip over local ones.
   std::uint64_t k = self.rng.next_below(n_remote);
   for (int t = 0; t < num_threads_; ++t) {
@@ -49,7 +61,7 @@ int PriorityWorkStealing::steal_choice(int thread_id) {
     if (k-- == 0) return t;
   }
   SBS_CHECK_MSG(false, "PWS: remote victim selection out of range");
-  return 0;
+  return -1;
 }
 
 }  // namespace sbs::sched

@@ -3,6 +3,7 @@
 // Identical to WS except for victim selection: victims sharing the caller's
 // socket (depth-1 cache cluster) are chosen with `intra_weight` times the
 // probability of remote victims (the paper sets 10× on its 4-socket box).
+// Like WS, the caller is never its own victim.
 #pragma once
 
 #include "sched/ws.h"

@@ -37,13 +37,11 @@ void SpaceBounded::start(const machine::Topology& topo, int num_threads) {
   nodes_.clear();
   nodes_.reserve(static_cast<std::size_t>(topo.num_nodes()));
   for (int id = 0; id < topo.num_nodes(); ++id) {
-    nodes_.push_back(std::make_unique<NodeState>());
-    NodeState& node = *nodes_.back();
-    node.buckets.resize(static_cast<std::size_t>(depths));
-    if (options_.distributed_top && topo.node(id).depth < depths) {
-      node.child_top.resize(
-          static_cast<std::size_t>(topo.node(id).num_children));
-    }
+    const int num_children =
+        options_.distributed_top && topo.node(id).depth < depths
+            ? topo.node(id).num_children
+            : 0;
+    nodes_.push_back(std::make_unique<NodeState>(depths, num_children));
   }
 
   threads_.clear();
@@ -62,11 +60,11 @@ void SpaceBounded::finish() {
     const NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     SBS_CHECK_MSG(node.occupied.load() == 0,
                   "SB: cache occupancy must drain to zero at finish");
-    SBS_CHECK_MSG(node.local.empty(), "SB: local queue not drained");
+    SBS_CHECK_MSG(node.local.jobs.empty(), "SB: local queue not drained");
     for (const auto& b : node.buckets)
-      SBS_CHECK_MSG(b.empty(), "SB: bucket not drained");
+      SBS_CHECK_MSG(b.jobs.empty(), "SB: bucket not drained");
     for (const auto& q : node.child_top)
-      SBS_CHECK_MSG(q.empty(), "SB: distributed top bucket not drained");
+      SBS_CHECK_MSG(q.jobs.empty(), "SB: distributed top bucket not drained");
   }
 }
 
@@ -104,10 +102,7 @@ void SpaceBounded::add(Job* job, int thread_id) {
   if (!job->starts_task()) {
     // Continuation strand: queue at the cluster where the task that called
     // the corresponding fork is anchored (paper §4.2).
-    NodeState& node = *nodes_[static_cast<std::size_t>(task->anchor)];
-    SpinGuard guard(node.lock);
-    count_op();
-    node.local.push_back(job);
+    nodes_[static_cast<std::size_t>(task->anchor)]->local.push_back(job);
     return;
   }
 
@@ -119,10 +114,7 @@ void SpaceBounded::add(Job* job, int thread_id) {
                   "space-bounded schedulers require size-annotated tasks");
     task->maximal = false;
     task->attr = 0;
-    NodeState& node = *nodes_[static_cast<std::size_t>(topo_->root())];
-    SpinGuard guard(node.lock);
-    count_op();
-    node.local.push_back(job);
+    nodes_[static_cast<std::size_t>(topo_->root())]->local.push_back(job);
     return;
   }
 
@@ -138,10 +130,7 @@ void SpaceBounded::add(Job* job, int thread_id) {
     task->size = task_size_at(*job, parent_depth);
     task->maximal = false;
     task->attr = static_cast<std::uint64_t>(parent_depth);
-    NodeState& node = *nodes_[static_cast<std::size_t>(parent_anchor)];
-    SpinGuard guard(node.lock);
-    count_op();
-    node.local.push_back(job);
+    nodes_[static_cast<std::size_t>(parent_anchor)]->local.push_back(job);
     return;
   }
 
@@ -151,8 +140,6 @@ void SpaceBounded::add(Job* job, int thread_id) {
   task->anchor = -1;
   task->size = task_size_at(*job, b);
   NodeState& node = *nodes_[static_cast<std::size_t>(parent_anchor)];
-  SpinGuard guard(node.lock);
-  count_op();
   if (is_top_bucket(parent_anchor, b)) {
     // SB-D: per-child distributed top bucket; enqueue at the child cluster
     // the adding thread belongs to.
@@ -278,49 +265,37 @@ Job* SpaceBounded::get(int thread_id) {
     NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     const int depth = topo_->node(id).depth;
 
-    // 1) Local strands / non-maximal tasks anchored at this cache.
-    Job* job = nullptr;
-    {
-      SpinGuard guard(node.lock);
-      count_op();
-      if (!node.local.empty()) {
-        job = node.local.back();
-        node.local.pop_back();
+    // 1) Local strands / non-maximal tasks anchored at this cache. The
+    // lock-free maybe_empty() probe keeps the (overwhelmingly common) empty
+    // scan entirely outside any critical section; only queues that look
+    // non-empty pay for a lock round-trip.
+    if (!node.local.maybe_empty()) {
+      if (Job* job = node.local.pop_back(); job != nullptr) {
+        charge_strand(job, thread_id);
+        return job;
       }
-    }
-    if (job != nullptr) {
-      charge_strand(job, thread_id);
-      return job;
     }
 
     // 2) Buckets, heaviest (closest to this cache's level) first.
     for (int b = depth + 1; b <= max_depth; ++b) {
       Job* candidate = nullptr;
-      {
-        SpinGuard guard(node.lock);
-        count_op();
-        if (is_top_bucket(id, b)) {
-          // Own child queue first, then siblings (WS-style).
-          const int own = topo_->cache_of_thread(thread_id, depth + 1) -
-                          topo_->node(id).first_child;
-          const int nq = static_cast<int>(node.child_top.size());
-          for (int k = 0; k < nq && candidate == nullptr; ++k) {
-            auto& q = node.child_top[static_cast<std::size_t>((own + k) % nq)];
-            if (!q.empty()) {
-              // Own child queue pops LIFO (depth-first locality); sibling
-              // queues are stolen from FIFO like a WS thief.
-              candidate = k == 0 ? q.back() : q.front();
-              if (k == 0) q.pop_back(); else q.pop_front();
-              if (k != 0) ++self.sibling_pops;
-            }
-          }
-        } else {
-          auto& bucket = node.buckets[static_cast<std::size_t>(b)];
-          if (!bucket.empty()) {
-            candidate = bucket.back();
-            bucket.pop_back();
-          }
+      if (is_top_bucket(id, b)) {
+        // Own child queue first, then siblings (WS-style). Own pops LIFO
+        // (depth-first locality); sibling queues are stolen FIFO like a WS
+        // thief. Per-child-queue locks make a steal contend only with the
+        // one queue it touches, not with the whole node.
+        const int own = topo_->cache_of_thread(thread_id, depth + 1) -
+                        topo_->node(id).first_child;
+        const int nq = static_cast<int>(node.child_top.size());
+        for (int k = 0; k < nq && candidate == nullptr; ++k) {
+          auto& q = node.child_top[static_cast<std::size_t>((own + k) % nq)];
+          if (q.maybe_empty()) continue;
+          candidate = k == 0 ? q.pop_back() : q.pop_front();
+          if (candidate != nullptr && k != 0) ++self.sibling_pops;
         }
+      } else {
+        auto& bucket = node.buckets[static_cast<std::size_t>(b)];
+        if (!bucket.maybe_empty()) candidate = bucket.pop_back();
       }
       if (candidate == nullptr) continue;
       if (try_anchor(candidate, id, b, thread_id)) {
@@ -331,8 +306,6 @@ Job* SpaceBounded::get(int thread_id) {
       ++self.admission_failures;
       trace::emit(thread_id, trace::EventKind::kAdmissionFail,
                   static_cast<std::uint64_t>(b), static_cast<std::uint64_t>(id));
-      SpinGuard guard(node.lock);
-      count_op();
       if (is_top_bucket(id, b)) {
         const int own = topo_->cache_of_thread(thread_id, depth + 1) -
                         topo_->node(id).first_child;

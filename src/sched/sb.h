@@ -79,16 +79,73 @@ class SpaceBounded : public runtime::Scheduler {
   std::uint64_t anchors_at_depth(int depth) const;
 
  private:
-  struct alignas(64) NodeState {
-    Spinlock lock;  ///< guards the queues below (not the occupancy counter)
-    std::atomic<std::uint64_t> occupied{0};
-    std::atomic<std::uint64_t> max_occupied{0};
+  /// One spinlock-protected job queue, padded onto its own cache line(s) so
+  /// neighbouring buckets never false-share lock or size words. The atomic
+  /// size mirror lets idle cores scan for work without taking the lock:
+  /// maybe_empty() is a relaxed load, and the lock is only acquired once a
+  /// queue looks non-empty. A stale zero merely delays the scanner by one
+  /// pass (the engine polls get() until work appears); a stale non-zero
+  /// costs one uncontended lock round-trip. Queues with one lock each also
+  /// shrink hold times versus the previous single per-node lock, which
+  /// serialized the local queue and every bucket of a node together.
+  struct alignas(64) JobQueue {
+    Spinlock lock;
+    std::atomic<std::size_t> size{0};
+    std::deque<runtime::Job*> jobs;
+
+    bool maybe_empty() const {
+      count_op();
+      return size.load(std::memory_order_relaxed) == 0;
+    }
+    void push_back(runtime::Job* job) {
+      SpinGuard guard(lock);
+      count_op();
+      jobs.push_back(job);
+      size.store(jobs.size(), std::memory_order_relaxed);
+    }
+    void push_front(runtime::Job* job) {
+      SpinGuard guard(lock);
+      count_op();
+      jobs.push_front(job);
+      size.store(jobs.size(), std::memory_order_relaxed);
+    }
+    runtime::Job* pop_back() {
+      SpinGuard guard(lock);
+      count_op();
+      if (jobs.empty()) return nullptr;
+      runtime::Job* job = jobs.back();
+      jobs.pop_back();
+      size.store(jobs.size(), std::memory_order_relaxed);
+      return job;
+    }
+    runtime::Job* pop_front() {
+      SpinGuard guard(lock);
+      count_op();
+      if (jobs.empty()) return nullptr;
+      runtime::Job* job = jobs.front();
+      jobs.pop_front();
+      size.store(jobs.size(), std::memory_order_relaxed);
+      return job;
+    }
+  };
+
+  struct NodeState {
+    /// Queue containers are std::deque because JobQueue (spinlock + atomic)
+    /// is immovable; deque never relocates elements.
     /// local: strands (continuations) and non-maximal tasks anchored here.
-    std::deque<runtime::Job*> local;
+    JobQueue local;
     /// buckets[b]: maximal tasks whose befitting depth is b (> node depth).
-    std::vector<std::deque<runtime::Job*>> buckets;
+    std::deque<JobQueue> buckets;
     /// SB-D: the top bucket (b == depth+1) distributed per child.
-    std::vector<std::deque<runtime::Job*>> child_top;
+    std::deque<JobQueue> child_top;
+    /// Occupancy counters on their own line: admission CASes from every
+    /// core hammer these words and must not false-share with queue locks.
+    alignas(64) std::atomic<std::uint64_t> occupied{0};
+    std::atomic<std::uint64_t> max_occupied{0};
+
+    NodeState(int num_buckets, int num_children)
+        : buckets(static_cast<std::size_t>(num_buckets)),
+          child_top(static_cast<std::size_t>(num_children)) {}
   };
 
   struct alignas(64) PerThread {

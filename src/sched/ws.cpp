@@ -26,40 +26,35 @@ void WorkStealing::finish() {
 }
 
 void WorkStealing::add(Job* job, int thread_id) {
-  PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
-  SpinGuard guard(self.local_lock);
-  count_op();
-  self.jobs.push_back(job);
+  threads_[static_cast<std::size_t>(thread_id)]->jobs.push_bottom(job);
 }
 
 int WorkStealing::steal_choice(int thread_id) {
+  if (num_threads_ < 2) return -1;
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
-  return static_cast<int>(
-      self.rng.next_below(static_cast<std::uint64_t>(num_threads_)));
+  // Uniform among the other workers: draw from [0, P-1) and skip self.
+  int choice = static_cast<int>(
+      self.rng.next_below(static_cast<std::uint64_t>(num_threads_ - 1)));
+  if (choice >= thread_id) ++choice;
+  return choice;
 }
 
 Job* WorkStealing::get(int thread_id) {
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
-  {
-    SpinGuard guard(self.local_lock);
-    if (!self.jobs.empty()) {
-      count_op();
-      Job* job = self.jobs.back();
-      self.jobs.pop_back();
-      return job;
-    }
-  }
-  // Local deque empty: steal from the top of a random victim's deque.
+  Job* job = nullptr;
+  if (self.jobs.pop_bottom(&job)) return job;
+
+  // Local deque empty: steal from the top of a random other victim's deque.
   const int choice = steal_choice(thread_id);
+  if (choice < 0) {
+    ++self.failed_steals;
+    return nullptr;
+  }
+  SBS_ASSERT(choice != thread_id);
   trace::emit(thread_id, trace::EventKind::kStealAttempt,
               static_cast<std::uint64_t>(choice));
   PerThread& victim = *threads_[static_cast<std::size_t>(choice)];
-  SpinGuard steal_guard(victim.steal_lock);
-  SpinGuard local_guard(victim.local_lock);
-  if (!victim.jobs.empty()) {
-    count_op();
-    Job* job = victim.jobs.front();
-    victim.jobs.pop_front();
+  if (victim.jobs.steal_top(&job)) {
     ++self.steals;
     trace::emit(thread_id, trace::EventKind::kStealSuccess,
                 static_cast<std::uint64_t>(choice));
@@ -81,14 +76,16 @@ std::uint64_t WorkStealing::total_steals() const {
   return n;
 }
 
+std::uint64_t WorkStealing::total_failed_steals() const {
+  std::uint64_t n = 0;
+  for (const auto& t : threads_) n += t->failed_steals;
+  return n;
+}
+
 std::string WorkStealing::stats_string() const {
-  std::uint64_t steals = 0, failed = 0;
-  for (const auto& t : threads_) {
-    steals += t->steals;
-    failed += t->failed_steals;
-  }
   std::ostringstream out;
-  out << "steals=" << steals << " failed_steals=" << failed;
+  out << "steals=" << total_steals()
+      << " failed_steals=" << total_failed_steals();
   return out.str();
 }
 

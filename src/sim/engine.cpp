@@ -67,6 +67,7 @@ struct SimEngine::VCore final : mem::AccessSink {
   std::uint64_t active_cy = 0, add_cy = 0, done_cy = 0, get_cy = 0,
                 empty_cy = 0;
   std::uint64_t strands = 0;
+  std::uint64_t empty_wakeups = 0;
 };
 
 SimEngine::SimEngine(const machine::Topology& topo, SimParams params)
@@ -150,7 +151,9 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
     core->active_cy = core->add_cy = core->done_cy = core->get_cy =
         core->empty_cy = 0;
     core->strands = 0;
+    core->empty_wakeups = 0;
   }
+  runtime::JobArena::Scope arena_scope(&arena_);
 
   sched.start(topo_, num_threads_);
   StrandOps::Root root = StrandOps::make_root(root_job);
@@ -221,6 +224,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
         }
         core.empty_cy += next - core.clock;
         core.clock = next;
+        ++core.empty_wakeups;
         SBS_CHECK_MSG(++consecutive_empty <
                           (1u << 24) * static_cast<unsigned>(num_threads_),
                       "simulation wedged: every core idle, no queued work, "
@@ -266,6 +270,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
     bd.get_s = static_cast<double>(core->get_cy) / hz;
     bd.empty_s = static_cast<double>(core->empty_cy) / hz;
     bd.strands = core->strands;
+    bd.empty_wakeups = core->empty_wakeups;
     result.stats.per_thread.push_back(bd);
   }
   sched_ = nullptr;

@@ -25,6 +25,7 @@
 
 #include "machine/topology.h"
 #include "runtime/job.h"
+#include "runtime/job_arena.h"
 #include "runtime/run_stats.h"
 #include "runtime/scheduler.h"
 #include "sim/counters.h"
@@ -89,6 +90,10 @@ class SimEngine {
   std::vector<std::unique_ptr<VCore>> cores_;
   std::unique_ptr<trace::Recorder> recorder_;
   runtime::Scheduler* sched_ = nullptr;
+  /// Fork/join allocation arena for the (single-host-threaded) event loop;
+  /// strand bodies run in fibers on the same host thread, so one arena
+  /// serves every virtual core with purely local frees.
+  runtime::JobArena arena_;
   std::uint64_t horizon_ = 0;  ///< yield threshold for the running fiber
   bool root_completed_ = false;
 };

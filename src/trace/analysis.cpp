@@ -149,10 +149,14 @@ bool WriteMetricsJsonl(const TraceAnalysis& analysis, const std::string& path,
       .kv("joins", t.joins)
       .kv("steal_attempts", t.steal_attempts)
       .kv("steal_successes", t.steal_successes)
+      .kv("steal_failures", t.steal_attempts - t.steal_successes)
       .kv("steal_success_rate", analysis.steal_success_rate())
       .kv("anchors", t.anchors)
       .kv("admission_failures", t.admission_failures)
       .kv("stalls", t.stalls)
+      // Engine-level name for the same count: scheduler polls that returned
+      // no job (the idle-backoff path on real threads).
+      .kv("empty_wakeups", t.stalls)
       .kv("stall_seconds", analysis.seconds(t.empty_ticks))
       .kv("load_imbalance", analysis.load_imbalance())
       .kv("active_seconds", analysis.seconds(t.active_ticks))
@@ -177,7 +181,9 @@ bool WriteMetricsJsonl(const TraceAnalysis& analysis, const std::string& path,
         .kv("strands", w.strands)
         .kv("steal_attempts", w.steal_attempts)
         .kv("steal_successes", w.steal_successes)
+        .kv("steal_failures", w.steal_attempts - w.steal_successes)
         .kv("anchors", w.anchors)
+        .kv("empty_wakeups", w.stalls)
         .kv("active_seconds", analysis.seconds(w.active_ticks))
         .kv("stall_seconds", analysis.seconds(w.empty_ticks))
         .end_object();

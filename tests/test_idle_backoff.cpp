@@ -1,0 +1,100 @@
+// Idle-backoff tests for the real thread pool: idle workers fall back
+// through the spin -> yield -> sleep tiers without missing work or delaying
+// run termination, and the engines surface the empty_wakeups statistic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "machine/topology.h"
+#include "runtime/jobs.h"
+#include "runtime/mem.h"
+#include "runtime/thread_pool.h"
+#include "sched/registry.h"
+#include "sim/engine.h"
+
+namespace sbs::runtime {
+namespace {
+
+using machine::Preset;
+using machine::Topology;
+
+/// A root strand that spins for roughly `ms` milliseconds without forking,
+/// so every other worker sits idle long enough to reach the deepest
+/// (sleeping) backoff tier.
+Job* busy_root(int ms) {
+  return make_job([ms](Strand&) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  });
+}
+
+TEST(IdleBackoff, SleepingWorkersObserveFinishPromptly) {
+  const Topology topo(Preset("mini"));  // 4 workers
+  ThreadPool pool(topo);
+  auto sched = sched::MakeScheduler("WS");
+
+  // 10ms of single-threaded work: three workers idle through the spin and
+  // yield tiers into the 50us-sleep tier thousands of times over.
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunStats stats = pool.run(*sched, busy_root(10));
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Termination latency is bounded by one sleep quantum per worker, not by
+  // how deep the backoff went. Allow very generous CI slack.
+  EXPECT_LT(wall_s, 5.0);
+  EXPECT_LT(stats.wall_s, 5.0);
+  EXPECT_EQ(stats.total_strands(), 1u);
+  // The three idle workers polled an empty scheduler at least once each.
+  EXPECT_GT(stats.total_empty_wakeups(), 3u);
+}
+
+TEST(IdleBackoff, BackoffDoesNotLoseLateWork) {
+  // Fork after a delay: workers that have already backed off to the sleep
+  // tier must still pick up the late-released children.
+  const Topology topo(Preset("mini"));
+  ThreadPool pool(topo);
+  auto sched = sched::MakeScheduler("WS");
+
+  std::atomic<int> executed{0};
+  Job* root = make_job([&executed](Strand& strand) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(5);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    std::vector<Job*> children;
+    for (int i = 0; i < 8; ++i) {
+      children.push_back(
+          make_job([&executed](Strand&) { ++executed; }));
+    }
+    strand.fork(std::move(children), make_nop());
+  });
+  const RunStats stats = pool.run(*sched, root);
+  EXPECT_EQ(executed.load(), 8);
+  EXPECT_EQ(stats.total_strands(), 10u);  // root + 8 children + nop
+}
+
+TEST(IdleBackoff, SimEngineCountsEmptyWakeups) {
+  // The simulator reports the analogous statistic: polls of an empty
+  // scheduler while another virtual core still runs.
+  const Topology topo(Preset("mini"));
+  auto sched = sched::MakeScheduler("WS");
+  sim::SimEngine engine(topo);
+
+  mem::Array<double> data(1 << 12);
+  Job* root = make_job(
+      [&data](Strand&) { data.touch_range(0, 1 << 12, true); },
+      2 * (1 << 12) * sizeof(double));
+  const sim::SimResult result = engine.run(*sched, root);
+  EXPECT_EQ(result.stats.total_strands(), 1u);
+  // Three of the four virtual cores only ever poll an empty scheduler.
+  EXPECT_GT(result.stats.total_empty_wakeups(), 0u);
+}
+
+}  // namespace
+}  // namespace sbs::runtime

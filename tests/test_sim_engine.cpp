@@ -126,7 +126,14 @@ TEST(SimEngine, SpaceBoundedReducesSharedCacheMisses) {
 }
 
 TEST(SimEngine, ThrottledBandwidthSlowsMemoryBoundRun) {
-  const Topology topo(Preset("mini"));
+  // Slow the links (0.5 B/cycle vs the preset's 8) so the streaming map is
+  // genuinely bandwidth-bound. With fast links the run is latency-bound and
+  // restricting pages to socket 0 mostly creates a locality asymmetry: an
+  // efficient work stealer shifts strands toward the cores local to the one
+  // home socket and can finish *sooner* than the all-sockets run.
+  machine::MachineConfig cfg = Preset("mini");
+  cfg.socket_bytes_per_cycle = 0.5;
+  const Topology topo(cfg);
   SimParams full;
   SimParams quarter;
   quarter.memory.allowed_sockets = {0};  // half the links on mini
