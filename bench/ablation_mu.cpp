@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
       spec.sb.use_strand_sizes = arm.strand_sizes;
       spec.num_threads = static_cast<int>(opts.threads);
       spec.verify = !opts.no_verify;
+      spec.verify_invariants = opts.verify;
       const std::string group =
           std::string(kernel) + (arm.strand_sizes ? "_ssz" : "_tsz") +
           (arm.mu_cap ? "_mu" : "_nomu");

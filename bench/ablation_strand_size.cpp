@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
       spec.sb.use_strand_sizes = use;
       spec.num_threads = static_cast<int>(opts.threads);
       spec.verify = !opts.no_verify;
+      spec.verify_invariants = opts.verify;
       const std::string group =
           std::string(kernel) + (use ? "_ssz" : "_tsz");
       if (!opts.trace.empty())

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     spec.sb.mu = opts.mu;
     spec.num_threads = static_cast<int>(opts.threads);
     spec.verify = !opts.no_verify;
+    spec.verify_invariants = opts.verify;
     const std::string group = "sigma" + fmt_double(sigma, 1);
     if (!opts.trace.empty())
       spec.trace_path = harness::WithPathSuffix(opts.trace, group);

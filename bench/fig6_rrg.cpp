@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   spec.sb.mu = opts.mu;
   spec.num_threads = static_cast<int>(opts.threads);
   spec.verify = !opts.no_verify;
+  spec.verify_invariants = opts.verify;
   spec.trace_path = opts.trace;
   spec.metrics_path = opts.metrics_json;
 

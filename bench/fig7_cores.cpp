@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
       spec.sb.sigma = opts.sigma;
       spec.sb.mu = opts.mu;
       spec.verify = !opts.no_verify;
+      spec.verify_invariants = opts.verify;
       const std::string group = std::string(kernel) + "_" + labels[m];
       if (!opts.trace.empty())
         spec.trace_path = harness::WithPathSuffix(opts.trace, group);

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     spec.sb.mu = opts.mu;
     spec.num_threads = static_cast<int>(opts.threads);
     spec.verify = !opts.no_verify;
+    spec.verify_invariants = opts.verify;
     if (!opts.trace.empty())
       spec.trace_path = harness::WithPathSuffix(opts.trace, kc.kernel);
     spec.metrics_path = opts.metrics_json;

@@ -5,9 +5,13 @@
 //   ./run_any --kernel=quicksort --sched=SB --machine=xeon7560_s8 --n=1000000
 //   ./run_any --kernel=rrm --sched=WS --engine=threads --threads=4
 //   ./run_any --kernel=matmul --n=512 --sched=SB-D --sigma=0.7 --sockets=1
-//   ./run_any --kernel=quicksort --sched=SB --trace=out.json \
+//   ./run_any --kernel=quicksort --sched=SB --trace=out.json
 //             --metrics-json=metrics.jsonl   # Perfetto trace + summary line
+//   ./run_any --kernel=quicksort --sched=SB --verify
+//             --trace-jsonl=run.jsonl        # invariant checking + replay file
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "kernels/kernel.h"
 #include "machine/topology.h"
@@ -16,7 +20,9 @@
 #include "sim/engine.h"
 #include "trace/analysis.h"
 #include "trace/chrome_trace.h"
+#include "trace/jsonl_trace.h"
 #include "util/cli.h"
+#include "verify/invariants.h"
 
 using namespace sbs;
 
@@ -31,7 +37,9 @@ int main(int argc, char** argv) {
   std::int64_t sockets = 0;  // memory sockets (bandwidth); 0 = all
   std::int64_t seed = 12345;
   double sigma = 0.5, mu = 0.2;
+  bool verify_invariants = false;
   std::string trace_path;
+  std::string jsonl_trace_path;
   std::string metrics_path;
 
   Cli cli("run_any", "run any kernel under any scheduler on any machine");
@@ -50,8 +58,13 @@ int main(int argc, char** argv) {
   cli.add_int("seed", &seed, "input seed");
   cli.add_double("sigma", &sigma, "space-bounded dilation");
   cli.add_double("mu", &mu, "space-bounded strand cap");
+  cli.add_flag("verify", &verify_invariants,
+               "wrap the scheduler in the online invariant checker "
+               "(src/verify); exit nonzero on any violation");
   cli.add_string("trace", &trace_path,
                  "write a Chrome trace (Perfetto-loadable) of the run here");
+  cli.add_string("trace-jsonl", &jsonl_trace_path,
+                 "write a JSONL trace (tools/trace_check input) here");
   cli.add_string("metrics-json", &metrics_path,
                  "write a one-line JSONL metrics summary of the run here");
   if (!cli.parse(argc, argv)) return 0;
@@ -82,9 +95,16 @@ int main(int argc, char** argv) {
   spec.name = sched_name;
   spec.sb.sigma = sigma;
   spec.sb.mu = mu;
-  auto sched = sched::MakeScheduler(spec);
+  std::unique_ptr<runtime::Scheduler> sched = sched::MakeScheduler(spec);
+  verify::VerifyingScheduler* checker = nullptr;
+  if (verify_invariants) {
+    auto wrapped = verify::Wrap(std::move(sched));
+    checker = wrapped.get();
+    sched = std::move(wrapped);
+  }
 
-  const bool tracing = !trace_path.empty() || !metrics_path.empty();
+  const bool tracing = !trace_path.empty() || !jsonl_trace_path.empty() ||
+                       !metrics_path.empty();
   const auto export_trace = [&](const trace::Recorder& rec) {
     if (!trace_path.empty()) {
       trace::TraceInfo info;
@@ -99,6 +119,28 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(rec.total_dropped()));
       } else {
         std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      }
+    }
+    if (!jsonl_trace_path.empty()) {
+      trace::TraceInfo info;
+      info.engine = engine_name;
+      info.scheduler = sched_name;
+      info.machine = cfg.name;
+      info.label = kernel_name;
+      trace::JsonlTraceParams params;
+      params.config_text = machine::ToConfigText(cfg);
+      if (sched_name == "SB" || sched_name == "SB-D") {
+        params.sigma = sigma;
+        params.mu = mu;
+      }
+      if (trace::WriteJsonlTrace(rec, jsonl_trace_path, info, params)) {
+        std::printf("trace-jsonl: %s (%llu events, %llu dropped)\n",
+                    jsonl_trace_path.c_str(),
+                    static_cast<unsigned long long>(rec.total_recorded()),
+                    static_cast<unsigned long long>(rec.total_dropped()));
+      } else {
+        std::fprintf(stderr, "failed to write %s\n",
+                     jsonl_trace_path.c_str());
       }
     }
     if (!metrics_path.empty()) {
@@ -130,6 +172,10 @@ int main(int argc, char** argv) {
     if (tracing) export_trace(*engine.recorder());
   }
   std::printf("scheduler stats: %s\n", sched->stats_string().c_str());
+  if (checker != nullptr) {
+    std::printf("%s\n", checker->report().c_str());
+  }
   std::printf("verify: %s\n", kernel->verify() ? "OK" : "FAILED");
-  return kernel->verify() ? 0 : 1;
+  const bool ok = kernel->verify() && (checker == nullptr || checker->ok());
+  return ok ? 0 : 1;
 }

@@ -27,6 +27,9 @@ bool ParseBenchOptions(int argc, char** argv, Cli& cli, BenchOptions* opts) {
               "worker threads (-1 = all hardware threads)");
   cli.add_flag("no-verify", &opts->no_verify,
                "skip output verification after the first repetition");
+  cli.add_flag("verify", &opts->verify,
+               "check scheduler invariants on every run (serializes "
+               "callbacks; use for correctness, not timing)");
   cli.add_string("trace", &opts->trace,
                  "write a Chrome trace of each cell's first repetition here");
   cli.add_string("metrics-json", &opts->metrics_json,

@@ -24,6 +24,9 @@ struct BenchOptions {
   double mu = 0.2;
   std::int64_t threads = -1;
   bool no_verify = false;
+  /// --verify: wrap every scheduler in the verify:: invariant checker
+  /// (correctness run; callbacks are serialized, timings meaningless).
+  bool verify = false;
   std::string trace;         ///< Chrome trace of each cell's first repetition
   std::string metrics_json;  ///< JSONL metrics summary, one line per cell
 

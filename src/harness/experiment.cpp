@@ -6,6 +6,7 @@
 #include "trace/chrome_trace.h"
 #include "util/assert.h"
 #include "util/stats.h"
+#include "verify/invariants.h"
 
 namespace sbs::harness {
 
@@ -63,9 +64,18 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
         ss.name = sched_name;
         ss.seed = spec.seed + static_cast<std::uint64_t>(rep);
         ss.sb = spec.sb;
-        auto sched = sched::MakeScheduler(ss);
+        std::unique_ptr<runtime::Scheduler> sched = sched::MakeScheduler(ss);
+        verify::VerifyingScheduler* checker = nullptr;
+        if (spec.verify_invariants) {
+          auto wrapped = verify::Wrap(std::move(sched));
+          checker = wrapped.get();
+          sched = std::move(wrapped);
+        }
 
         const sim::SimResult r = engine.run(*sched, kernel->make_root());
+        if (checker != nullptr && !checker->ok()) {
+          SBS_CHECK_MSG(false, checker->report().c_str());
+        }
         if (tracing && rep == 0) {
           // Only the first repetition is exported: each run resets the rings.
           if (!spec.trace_path.empty()) {

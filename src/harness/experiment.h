@@ -31,6 +31,10 @@ struct ExperimentSpec {
   sched::SpaceBounded::Options sb;
   int num_threads = -1;  ///< -1: all hardware threads of the machine
   bool verify = true;
+  /// Wrap every scheduler in verify::VerifyingScheduler and abort (with the
+  /// checker's report) on any invariant violation. Serializes the scheduler
+  /// callbacks — a correctness mode, not a timing mode.
+  bool verify_invariants = false;
 
   /// Chrome Trace Event output: the first repetition of each cell is traced
   /// and written to this path, with "<scheduler>_<sockets>bw" inserted

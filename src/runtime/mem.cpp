@@ -3,10 +3,10 @@
 #include <sys/mman.h>
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "util/assert.h"
+#include "util/thread_safety.h"
 
 namespace sbs::mem {
 
@@ -22,11 +22,12 @@ constexpr std::size_t kReserve = 64ull << 30;
 void* const kBaseHint = reinterpret_cast<void*>(0x7e0000000000ull);
 
 struct State {
-  std::mutex lock;
-  std::byte* base = nullptr;
-  std::size_t bump = 0;               // offset of the next fresh chunk
-  std::size_t live = 0;               // bytes currently handed out
-  std::map<std::size_t, std::vector<void*>> free_by_size;  // rounded size
+  util::Mutex lock;
+  std::byte* base = nullptr;  // set once before any concurrent access
+  std::size_t bump SBS_GUARDED_BY(lock) = 0;  // next fresh chunk offset
+  std::size_t live SBS_GUARDED_BY(lock) = 0;  // bytes currently handed out
+  std::map<std::size_t, std::vector<void*>> free_by_size
+      SBS_GUARDED_BY(lock);  // keyed by rounded size
 };
 
 State& state() {
@@ -49,7 +50,7 @@ std::size_t round_up(std::size_t bytes) {
 void* alloc(std::size_t bytes) {
   const std::size_t size = round_up(bytes);
   State& s = state();
-  std::scoped_lock guard(s.lock);
+  util::MutexLock guard(s.lock);
   s.live += size;
   auto it = s.free_by_size.find(size);
   if (it != s.free_by_size.end() && !it->second.empty()) {
@@ -70,7 +71,7 @@ void free(void* ptr, std::size_t bytes) {
   if (ptr == nullptr) return;
   const std::size_t size = round_up(bytes);
   State& s = state();
-  std::scoped_lock guard(s.lock);
+  util::MutexLock guard(s.lock);
   SBS_CHECK(s.live >= size);
   s.live -= size;
   // Release physical pages, keep the mapping for deterministic reuse.
@@ -80,7 +81,7 @@ void free(void* ptr, std::size_t bytes) {
 
 std::size_t allocated_bytes() {
   State& s = state();
-  std::scoped_lock guard(s.lock);
+  util::MutexLock guard(s.lock);
   return s.live;
 }
 

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/thread_safety.h"
+
 #if defined(__x86_64__)
 #include <immintrin.h>
 #endif
@@ -32,29 +34,36 @@ inline void cpu_relax() {
 
 /// Test-and-test-and-set spinlock (critical sections in schedulers are a
 /// few queue operations long; CP.20: always used through RAII guards).
-class Spinlock {
+/// Declared as a thread-safety capability: fields it protects carry
+/// SBS_GUARDED_BY(lock) and clang's -Wthread-safety proves the discipline.
+class SBS_CAPABILITY("spinlock") Spinlock {
  public:
-  void lock() {
+  void lock() SBS_ACQUIRE() {
     count_op();
     while (flag_.exchange(true, std::memory_order_acquire)) {
       while (flag_.load(std::memory_order_relaxed)) cpu_relax();
     }
   }
-  bool try_lock() {
+  bool try_lock() SBS_TRY_ACQUIRE(true) {
     count_op();
     return !flag_.exchange(true, std::memory_order_acquire);
   }
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() SBS_RELEASE() {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
 };
 
-/// RAII guard (named per CP.44).
-class SpinGuard {
+/// RAII guard (named per CP.44), visible to the analysis as a scoped
+/// capability so guarded accesses inside the scope check out.
+class SBS_SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(Spinlock& lock) : lock_(lock) { lock_.lock(); }
-  ~SpinGuard() { lock_.unlock(); }
+  explicit SpinGuard(Spinlock& lock) SBS_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinGuard() SBS_RELEASE() { lock_.unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 

@@ -57,14 +57,14 @@ void SpaceBounded::start(const machine::Topology& topo, int num_threads) {
 
 void SpaceBounded::finish() {
   for (int id = 0; id < topo_->num_nodes(); ++id) {
-    const NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     SBS_CHECK_MSG(node.occupied.load() == 0,
                   "SB: cache occupancy must drain to zero at finish");
-    SBS_CHECK_MSG(node.local.jobs.empty(), "SB: local queue not drained");
-    for (const auto& b : node.buckets)
-      SBS_CHECK_MSG(b.jobs.empty(), "SB: bucket not drained");
-    for (const auto& q : node.child_top)
-      SBS_CHECK_MSG(q.jobs.empty(), "SB: distributed top bucket not drained");
+    SBS_CHECK_MSG(node.local.drained(), "SB: local queue not drained");
+    for (auto& b : node.buckets)
+      SBS_CHECK_MSG(b.drained(), "SB: bucket not drained");
+    for (auto& q : node.child_top)
+      SBS_CHECK_MSG(q.drained(), "SB: distributed top bucket not drained");
   }
 }
 
@@ -188,6 +188,21 @@ bool SpaceBounded::try_charge_path(int anchor_node, int ceiling_depth,
   return true;
 }
 
+void SpaceBounded::force_charge_path(int anchor_node, int ceiling_depth,
+                                     std::uint64_t bytes) {
+  // Mutation-test hook (Options::TestFaults::force_admission): charge the
+  // path like try_charge_path but without the capacity check, so the
+  // bounded property can be violated. Charges are still recorded, so
+  // release_path keeps the books balanced at finish().
+  for (int id = anchor_node; topo_->node(id).depth > ceiling_depth;
+       id = topo_->node(id).parent) {
+    NodeState& node = *nodes_[static_cast<std::size_t>(id)];
+    count_op();
+    node.occupied.fetch_add(bytes, std::memory_order_acq_rel);
+    bump_max(node);
+  }
+}
+
 void SpaceBounded::release_path(int anchor_node, int ceiling_depth,
                                 std::uint64_t bytes) {
   for (int id = anchor_node; topo_->node(id).depth > ceiling_depth;
@@ -240,9 +255,20 @@ void SpaceBounded::charge_strand(Job* job, int thread_id) {
 
 bool SpaceBounded::try_anchor(Job* job, int x_node, int b, int thread_id) {
   Task* task = job->task();
-  const int anchor = topo_->cache_of_thread(thread_id, b);
   const int ceiling_depth = topo_->node(x_node).depth;
-  if (!try_charge_path(anchor, ceiling_depth, task->size)) return false;
+  int anchor_depth = b;
+  if (options_.test_faults.anchor_depth_bias > 0) {
+    // Mutation-test hook: anchor above the befitting cache (clamped so the
+    // charge path stays within (ceiling, anchor]).
+    anchor_depth =
+        std::max(ceiling_depth, b - options_.test_faults.anchor_depth_bias);
+  }
+  const int anchor = topo_->cache_of_thread(thread_id, anchor_depth);
+  if (options_.test_faults.force_admission) {
+    force_charge_path(anchor, ceiling_depth, task->size);
+  } else if (!try_charge_path(anchor, ceiling_depth, task->size)) {
+    return false;
+  }
   task->anchor = anchor;
   task->attr = static_cast<std::uint64_t>(ceiling_depth);
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
@@ -250,8 +276,9 @@ bool SpaceBounded::try_anchor(Job* job, int x_node, int b, int thread_id) {
   anchors_at_depth_[static_cast<std::size_t>(b)].fetch_add(
       1, std::memory_order_relaxed);
   trace::emit(thread_id, trace::EventKind::kAnchor,
-              static_cast<std::uint64_t>(b),
-              static_cast<std::uint64_t>(anchor), task->size);
+              static_cast<std::uint64_t>(anchor_depth),
+              static_cast<std::uint64_t>(anchor), task->size,
+              static_cast<std::uint64_t>(ceiling_depth));
   return true;
 }
 
@@ -333,6 +360,10 @@ void SpaceBounded::done(Job* job, int thread_id, bool task_completed) {
     Task* task = job->task();
     if (task->maximal && task->anchor >= 0) {
       release_path(task->anchor, static_cast<int>(task->attr), task->size);
+      trace::emit(
+          thread_id, trace::EventKind::kRelease,
+          static_cast<std::uint64_t>(topo_->node(task->anchor).depth),
+          static_cast<std::uint64_t>(task->anchor), task->size, task->attr);
     }
   }
 }

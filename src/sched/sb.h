@@ -52,6 +52,18 @@ class SpaceBounded : public runtime::Scheduler {
     /// charges its task's size (the paper notes per-strand sizes are an
     /// optional but important optimization, §4.1).
     bool use_strand_sizes = true;
+
+    /// Deliberate scheduler bugs, reachable only from tests: the mutation
+    /// tests in tests/test_verify.cpp seed each one and assert that the
+    /// verify:: invariant checker flags it. Never set outside tests.
+    struct TestFaults {
+      /// Over-admit: charge the anchor path unconditionally, skipping the
+      /// bounded-occupancy capacity check of try_charge_path.
+      bool force_admission = false;
+      /// Mis-anchor: anchor maximal tasks this many levels *above* their
+      /// befitting cache (clamped at the ceiling), violating anchoring.
+      int anchor_depth_bias = 0;
+    } test_faults;
   };
 
   SpaceBounded();  // default options
@@ -91,7 +103,10 @@ class SpaceBounded : public runtime::Scheduler {
   struct alignas(64) JobQueue {
     Spinlock lock;
     std::atomic<std::size_t> size{0};
-    std::deque<runtime::Job*> jobs;
+    /// Cold container behind the spinlock; the JobQueue itself (spinlock +
+    /// atomic size mirror) is the hot-path interface.
+    // lint:allow(std-deque)
+    std::deque<runtime::Job*> jobs SBS_GUARDED_BY(lock);
 
     bool maybe_empty() const {
       count_op();
@@ -127,17 +142,25 @@ class SpaceBounded : public runtime::Scheduler {
       size.store(jobs.size(), std::memory_order_relaxed);
       return job;
     }
+    /// Drain check for finish(): takes the lock (run quiescent, so it is
+    /// uncontended) rather than poking `jobs` past the capability analysis.
+    bool drained() {
+      SpinGuard guard(lock);
+      return jobs.empty();
+    }
   };
 
   struct NodeState {
     /// Queue containers are std::deque because JobQueue (spinlock + atomic)
-    /// is immovable; deque never relocates elements.
+    /// is immovable; deque never relocates elements. Containers are sized at
+    /// start() and never resized during a run — only JobQueue's own methods
+    /// touch the hot path. lint:allow(std-deque) on both.
     /// local: strands (continuations) and non-maximal tasks anchored here.
     JobQueue local;
     /// buckets[b]: maximal tasks whose befitting depth is b (> node depth).
-    std::deque<JobQueue> buckets;
+    std::deque<JobQueue> buckets;  // lint:allow(std-deque)
     /// SB-D: the top bucket (b == depth+1) distributed per child.
-    std::deque<JobQueue> child_top;
+    std::deque<JobQueue> child_top;  // lint:allow(std-deque)
     /// Occupancy counters on their own line: admission CASes from every
     /// core hammer these words and must not false-share with queue locks.
     alignas(64) std::atomic<std::uint64_t> occupied{0};
@@ -166,6 +189,10 @@ class SpaceBounded : public runtime::Scheduler {
   /// (ceiling_depth, anchor_depth], checking capacity; rolls back on
   /// failure. Returns success.
   bool try_charge_path(int anchor_node, int ceiling_depth, std::uint64_t bytes);
+  /// Test-fault variant: charge unconditionally, ignoring capacity (the
+  /// over-admission mutation the invariant checker must catch).
+  void force_charge_path(int anchor_node, int ceiling_depth,
+                         std::uint64_t bytes);
   void release_path(int anchor_node, int ceiling_depth, std::uint64_t bytes);
   void bump_max(NodeState& node);
   /// Charge strand occupancy below the task's anchor on this thread's path.

@@ -17,6 +17,7 @@ WorkerProfile TraceAnalysis::totals() const {
     t.steal_successes += w.steal_successes;
     t.anchors += w.anchors;
     t.admission_failures += w.admission_failures;
+    t.releases += w.releases;
     t.stalls += w.stalls;
     t.active_ticks += w.active_ticks;
     t.add_ticks += w.add_ticks;
@@ -108,6 +109,7 @@ TraceAnalysis Analyze(const Recorder& recorder, int stall_bins) {
           break;
         }
         case EventKind::kAdmissionFail: ++profile.admission_failures; break;
+        case EventKind::kRelease: ++profile.releases; break;
         case EventKind::kNumKinds: break;
       }
     }

@@ -26,7 +26,8 @@ struct WorkerProfile {
   std::uint64_t steal_successes = 0;
   std::uint64_t anchors = 0;
   std::uint64_t admission_failures = 0;
-  std::uint64_t stalls = 0;  ///< empty-queue get() results
+  std::uint64_t releases = 0;  ///< anchored-task charge releases
+  std::uint64_t stalls = 0;    ///< empty-queue get() results
 
   // Tick totals per §3.3 component, reconstructed from the events.
   std::uint64_t active_ticks = 0;

@@ -52,11 +52,13 @@ void write_event(std::FILE* f, int worker, const Event& e, double us_per_tick,
                    name, worker, ts, static_cast<unsigned long long>(e.a));
       break;
     case EventKind::kAnchor:
+    case EventKind::kRelease:
       std::fprintf(f,
-                   R"({"name":"anchor","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"level":%llu,"cache":%llu,"bytes":%llu}})",
-                   worker, ts, static_cast<unsigned long long>(e.a),
+                   R"({"name":"%s","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"args":{"level":%llu,"cache":%llu,"bytes":%llu,"ceiling":%llu}})",
+                   name, worker, ts, static_cast<unsigned long long>(e.a),
                    static_cast<unsigned long long>(e.b),
-                   static_cast<unsigned long long>(e.dur));
+                   static_cast<unsigned long long>(e.dur),
+                   static_cast<unsigned long long>(e.c));
       break;
     case EventKind::kAdmissionFail:
       std::fprintf(f,

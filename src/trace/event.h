@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace sbs::trace {
 
@@ -32,9 +33,14 @@ enum class EventKind : std::uint16_t {
   kStealAttempt,  ///< a = victim worker probed
   kStealSuccess,  ///< a = victim worker robbed
   kAnchor,  ///< SB anchored a maximal task; a = befitting cache tree depth,
-            ///< b = cache node id, dur = task size S(t;B) in bytes
+            ///< b = cache node id, dur = task size S(t;B) in bytes,
+            ///< c = ceiling depth (the parent task's anchor depth — the
+            ///< skip-level charge stops there, exclusive)
   kAdmissionFail,  ///< SB bounded-occupancy admission failed; a = befitting
                    ///< depth, b = node whose bucket held the task
+  kRelease,  ///< SB released an anchored task at completion; payload mirrors
+             ///< kAnchor (a = depth, b = node, dur = bytes, c = ceiling) so
+             ///< replay checkers can balance charges offline
   kNumKinds,
 };
 
@@ -43,12 +49,22 @@ struct Event {
   std::uint64_t dur = 0;  ///< complete events; kAnchor reuses it for bytes
   std::uint64_t a = 0;    ///< payload (see EventKind)
   std::uint64_t b = 0;
+  std::uint64_t c = 0;    ///< second payload slot (kAnchor/kRelease: ceiling)
   EventKind kind = EventKind::kStrand;
 };
 
 /// Stable lower-case name ("strand", "steal_attempt", ...) used by both
 /// exporters, so trace consumers can key on it.
 const char* KindName(EventKind kind);
+
+/// Inverse of KindName for the JSONL trace reader. "get" (the shared Chrome
+/// name) is not accepted here — the JSONL exporter writes the unambiguous
+/// "get_begin"/"get_end". Returns kNumKinds for unknown names.
+EventKind EventKindFromName(const std::string& name);
+
+/// JSONL trace name: KindName except for the get pair, which must stay
+/// distinguishable without Chrome's B/E phase field.
+const char* JsonlKindName(EventKind kind);
 
 /// True for kFork..kAdmissionFail (exported as Chrome instant events).
 inline bool IsInstant(EventKind kind) {

@@ -28,9 +28,24 @@ const char* KindName(EventKind kind) {
     case EventKind::kStealSuccess: return "steal_success";
     case EventKind::kAnchor: return "anchor";
     case EventKind::kAdmissionFail: return "admission_fail";
+    case EventKind::kRelease: return "release";
     case EventKind::kNumKinds: break;
   }
   return "?";
+}
+
+const char* JsonlKindName(EventKind kind) {
+  if (kind == EventKind::kGetBegin) return "get_begin";
+  if (kind == EventKind::kGetEnd) return "get_end";
+  return KindName(kind);
+}
+
+EventKind EventKindFromName(const std::string& name) {
+  for (int k = 0; k < static_cast<int>(EventKind::kNumKinds); ++k) {
+    const EventKind kind = static_cast<EventKind>(k);
+    if (name == JsonlKindName(kind)) return kind;
+  }
+  return EventKind::kNumKinds;
 }
 
 Recorder::Recorder(int num_workers, std::size_t capacity_per_worker) {

@@ -46,17 +46,18 @@ class Recorder {
   // --- hot path (per-worker, single writer) ---
 
   void record(int worker, EventKind kind, std::uint64_t ts,
-              std::uint64_t dur = 0, std::uint64_t a = 0,
-              std::uint64_t b = 0) {
+              std::uint64_t dur = 0, std::uint64_t a = 0, std::uint64_t b = 0,
+              std::uint64_t c = 0) {
     Ring& ring = rings_[static_cast<std::size_t>(worker)];
-    ring.slots[ring.head & ring.mask] = Event{ts, dur, a, b, kind};
+    ring.slots[ring.head & ring.mask] = Event{ts, dur, a, b, c, kind};
     ++ring.head;
   }
 
   /// Record with the current timestamp — the form scheduler code uses.
   void record_now(int worker, EventKind kind, std::uint64_t a = 0,
-                  std::uint64_t b = 0, std::uint64_t dur = 0) {
-    record(worker, kind, now(worker), dur, a, b);
+                  std::uint64_t b = 0, std::uint64_t dur = 0,
+                  std::uint64_t c = 0) {
+    record(worker, kind, now(worker), dur, a, b, c);
   }
 
   /// The simulator publishes each core's virtual clock here before invoking
@@ -117,9 +118,10 @@ class Scope {
 
 /// Emission hook for scheduler code. One load + branch when tracing is off.
 inline void emit(int worker, EventKind kind, std::uint64_t a = 0,
-                 std::uint64_t b = 0, std::uint64_t dur = 0) {
+                 std::uint64_t b = 0, std::uint64_t dur = 0,
+                 std::uint64_t c = 0) {
   if (Recorder* recorder = active()) {
-    recorder->record_now(worker, kind, a, b, dur);
+    recorder->record_now(worker, kind, a, b, dur, c);
   }
 }
 

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -127,11 +129,16 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
-// --- validating parser (recursive descent) ---
+// --- parser (recursive descent; validates, optionally builds a DOM) ---
 
 namespace {
 
+/// Every parsing method takes an optional JsonValue sink: null while
+/// validating (JsonValidate), non-null while building (JsonParse). The
+/// grammar walk is shared so the two cannot drift apart.
 struct Parser {
+  explicit Parser(const std::string& t) : text(t) {}
+
   const std::string& text;
   std::size_t pos = 0;
   std::string error;
@@ -159,7 +166,7 @@ struct Parser {
     return true;
   }
 
-  bool string() {
+  bool string(std::string* out) {
     if (!consume('"')) return fail("expected string");
     while (pos < text.size()) {
       const char c = text[pos++];
@@ -169,22 +176,51 @@ struct Parser {
         if (pos >= text.size()) return fail("truncated escape");
         const char e = text[pos++];
         if (e == 'u') {
+          unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             if (pos >= text.size() ||
                 !std::isxdigit(static_cast<unsigned char>(text[pos])))
               return fail("bad \\u escape");
-            ++pos;
+            const char h = text[pos++];
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
           }
-        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
-                   e != 'n' && e != 'r' && e != 't') {
+          if (out != nullptr) {
+            // UTF-8 encode the BMP code point (surrogate pairs are kept as
+            // their raw halves; trace files never emit them).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+          }
+        } else if (e == '"' || e == '\\' || e == '/') {
+          if (out != nullptr) *out += e;
+        } else if (e == 'b' || e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          if (out != nullptr) {
+            *out += e == 'b'   ? '\b'
+                    : e == 'f' ? '\f'
+                    : e == 'n' ? '\n'
+                    : e == 'r' ? '\r'
+                               : '\t';
+          }
+        } else {
           return fail("bad escape");
         }
+      } else if (out != nullptr) {
+        *out += c;
       }
     }
     return fail("unterminated string");
   }
 
-  bool number() {
+  bool number(JsonValue* out) {
     const std::size_t start = pos;
     consume('-');
     if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad number");
@@ -199,46 +235,72 @@ struct Parser {
       if (!std::isdigit(static_cast<unsigned char>(peek()))) return fail("bad exponent");
       while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos;
     }
-    return pos > start;
+    if (pos <= start) return false;
+    if (out != nullptr) {
+      *out = JsonValue::of(std::strtod(text.substr(start, pos - start).c_str(),
+                                       nullptr));
+    }
+    return true;
   }
 
   char peek() const { return pos < text.size() ? text[pos] : '\0'; }
 
-  bool value() {
+  bool value(JsonValue* out) {
     skip_ws();
     switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        std::string s;
+        if (!string(out != nullptr ? &s : nullptr)) return false;
+        if (out != nullptr) *out = JsonValue::of(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        if (out != nullptr) *out = JsonValue::of(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        if (out != nullptr) *out = JsonValue::of(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        if (out != nullptr) *out = JsonValue::null_value();
+        return true;
+      default: return number(out);
     }
   }
 
-  bool object() {
+  bool object(JsonValue* out) {
     consume('{');
+    if (out != nullptr) *out = JsonValue::object();
     skip_ws();
     if (consume('}')) return true;
     while (true) {
       skip_ws();
-      if (!string()) return false;
+      std::string key;
+      if (!string(out != nullptr ? &key : nullptr)) return false;
       skip_ws();
       if (!consume(':')) return fail("expected ':'");
-      if (!value()) return false;
+      JsonValue member;
+      if (!value(out != nullptr ? &member : nullptr)) return false;
+      if (out != nullptr) out->insert(std::move(key), std::move(member));
       skip_ws();
       if (consume('}')) return true;
       if (!consume(',')) return fail("expected ',' or '}'");
     }
   }
 
-  bool array() {
+  bool array(JsonValue* out) {
     consume('[');
+    if (out != nullptr) *out = JsonValue::array();
     skip_ws();
     if (consume(']')) return true;
     while (true) {
-      if (!value()) return false;
+      JsonValue item;
+      if (!value(out != nullptr ? &item : nullptr)) return false;
+      if (out != nullptr) out->push_back(std::move(item));
       skip_ws();
       if (consume(']')) return true;
       if (!consume(',')) return fail("expected ',' or ']'");
@@ -246,11 +308,9 @@ struct Parser {
   }
 };
 
-}  // namespace
-
-bool JsonValidate(const std::string& text, std::string* error) {
-  Parser parser{text};
-  bool ok = parser.value();
+bool run_parser(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  bool ok = parser.value(out);
   if (ok) {
     parser.skip_ws();
     if (parser.pos != text.size()) {
@@ -259,6 +319,107 @@ bool JsonValidate(const std::string& text, std::string* error) {
   }
   if (!ok && error != nullptr) *error = parser.error;
   return ok;
+}
+
+}  // namespace
+
+bool JsonValidate(const std::string& text, std::string* error) {
+  return run_parser(text, nullptr, error);
+}
+
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error) {
+  SBS_ASSERT(out != nullptr);
+  if (run_parser(text, out, error)) return true;
+  *out = JsonValue::null_value();
+  return false;
+}
+
+// --- JsonValue accessors ---
+
+namespace {
+const JsonValue& shared_null() {
+  static const JsonValue null;
+  return null;
+}
+const std::string& shared_empty_string() {
+  static const std::string empty;
+  return empty;
+}
+}  // namespace
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (!is_number() || number_ < 0) return fallback;
+  return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (!is_number()) return fallback;
+  return static_cast<std::int64_t>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  return is_string() ? string_ : shared_empty_string();
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, member] : members_) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  const JsonValue* member = find(key);
+  return member != nullptr ? *member : shared_null();
+}
+
+const JsonValue& JsonValue::operator[](std::size_t index) const {
+  if (!is_array() || index >= items_.size()) return shared_null();
+  return items_[index];
+}
+
+JsonValue JsonValue::of(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::of(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::of(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  SBS_ASSERT(is_array());
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::insert(std::string key, JsonValue v) {
+  SBS_ASSERT(is_object());
+  members_.emplace_back(std::move(key), std::move(v));
 }
 
 }  // namespace sbs

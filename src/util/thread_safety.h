@@ -1,0 +1,80 @@
+// Clang Thread Safety Analysis annotations (Hutchins et al., "C/C++ Thread
+// Safety Analysis", CGO'14), wrapped so the code compiles unannotated on
+// compilers without the attributes (gcc). The analysis is purely static:
+// locks are declared as *capabilities*, data as *guarded by* a capability,
+// and functions by the capabilities they acquire/release/require. Clang then
+// proves, per translation unit, that every guarded access happens while the
+// guarding capability is held — the scheduler's lock discipline becomes a
+// compile-time contract instead of a TSan-schedule-dependent property.
+//
+// Conventions in this repo (see docs/VERIFICATION.md):
+//   - every lock member is declared with a capability annotation
+//     (sched::Spinlock and util Mutex below are annotated types);
+//   - every field a lock protects carries SBS_GUARDED_BY(that_lock);
+//   - RAII guards (SpinGuard, MutexLock) are SBS_SCOPED_CAPABILITY;
+//   - single-threaded escape hatches (drain checks in Scheduler::finish)
+//     still take the lock rather than using SBS_NO_THREAD_SAFETY_ANALYSIS,
+//     so the analysis stays free of blind spots.
+//
+// -Wthread-safety is enabled for clang builds in the top-level
+// CMakeLists.txt and promoted to an error in CI (SBS_WERROR=ON).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SBS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SBS_THREAD_ANNOTATION(x)  // no-op on gcc and others
+#endif
+
+#define SBS_CAPABILITY(x) SBS_THREAD_ANNOTATION(capability(x))
+#define SBS_SCOPED_CAPABILITY SBS_THREAD_ANNOTATION(scoped_lockable)
+#define SBS_GUARDED_BY(x) SBS_THREAD_ANNOTATION(guarded_by(x))
+#define SBS_PT_GUARDED_BY(x) SBS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SBS_ACQUIRE(...) \
+  SBS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SBS_RELEASE(...) \
+  SBS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SBS_TRY_ACQUIRE(...) \
+  SBS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SBS_REQUIRES(...) \
+  SBS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SBS_EXCLUDES(...) SBS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SBS_ACQUIRED_BEFORE(...) \
+  SBS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SBS_ACQUIRED_AFTER(...) \
+  SBS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SBS_RETURN_CAPABILITY(x) SBS_THREAD_ANNOTATION(lock_returned(x))
+#define SBS_NO_THREAD_SAFETY_ANALYSIS \
+  SBS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace sbs::util {
+
+/// std::mutex with capability annotations (libstdc++'s own mutex carries
+/// none, so guarded fields behind a bare std::mutex are invisible to the
+/// analysis). Used off the scheduler hot path: the mem:: allocation arena,
+/// the verify:: invariant checker.
+class SBS_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() SBS_ACQUIRE() { m_.lock(); }
+  void unlock() SBS_RELEASE() { m_.unlock(); }
+  bool try_lock() SBS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII guard for Mutex, visible to the analysis as a scoped capability.
+class SBS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SBS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SBS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace sbs::util

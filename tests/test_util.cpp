@@ -136,7 +136,9 @@ TEST(FlatMap, GrowsAndMatchesStdMap) {
         auto* found = map.find(key);
         auto it = ref.find(key);
         ASSERT_EQ(found != nullptr, it != ref.end()) << step;
-        if (found != nullptr) ASSERT_EQ(*found, it->second) << step;
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second) << step;
+        }
         break;
       }
       case 2:

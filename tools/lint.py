@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass (runs in CI next to format/tidy).
+
+Rules:
+  raw-new     Job/Task/JoinCounter objects must come from the arena-backed
+              allocation path in src/runtime/ (the ArenaBacked mixin and the
+              fork bookkeeping in strand_ops.h). A raw `new Task(...)`,
+              `new JoinCounter(...)` or `new SomethingJob(...)` anywhere
+              else bypasses the per-worker JobArena and puts fork/join
+              churn back on the global heap.
+  std-mutex   Scheduler hot paths (src/sched/) must not take a std::mutex:
+              add/get/done are called on every fork/steal and a futex-backed
+              mutex there serializes workers. Use sched::Spinlock, or
+              util::Mutex off the hot path with a waiver.
+  std-deque   std::deque in src/sched/ is allowed only behind a lock as a
+              cold container, never as the hot-path interface; every use
+              must carry an explicit waiver explaining itself.
+  assert-se   SBS_ASSERT compiles out under NDEBUG, so its argument must
+              not have side effects (++/--/assignment/mutating calls) —
+              otherwise release builds change behavior.
+
+Waivers: append `// lint:allow(<rule>)` on the offending line or the line
+directly above it.
+
+Usage: tools/lint.py [--root DIR]   (exit 0 = clean, 1 = findings)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+
+# src/runtime owns the arena allocation path; `new` of runtime objects is
+# legitimate there (ArenaBacked routes it through the JobArena).
+RAW_NEW_EXEMPT = ("src/runtime/",)
+
+RAW_NEW_RE = re.compile(r"\bnew\s+(?:[A-Za-z_][\w:]*::)?"
+                        r"(Task|JoinCounter|[A-Za-z_]\w*Job)\s*[({]")
+STD_MUTEX_RE = re.compile(r"\bstd::(mutex|recursive_mutex|shared_mutex|"
+                          r"timed_mutex|condition_variable)\b")
+STD_DEQUE_RE = re.compile(r"\bstd::deque\b")
+SBS_ASSERT_RE = re.compile(r"\bSBS_ASSERT\s*\(")
+WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Side effects inside an SBS_ASSERT argument. `==`, `!=`, `<=`, `>=` must
+# not count as assignment.
+MUTATION_RES = (
+    re.compile(r"\+\+|--"),
+    re.compile(r"(?<![=!<>+\-*/%&|^])=(?![=])"),
+    re.compile(r"\b(push_back|push_front|pop_back|pop_front|emplace|"
+               r"emplace_back|erase|insert|clear|store|exchange|fetch_add|"
+               r"fetch_sub|compare_exchange_weak|compare_exchange_strong|"
+               r"reset|release)\s*\("),
+)
+
+
+def waived(lines, idx, rule):
+    """True when line idx (0-based) or the line above carries a waiver."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = WAIVER_RE.search(lines[j])
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+def strip_strings_and_comments(line):
+    """Remove string/char literals and // comments (keeps the waiver scan
+    separate — this feeds the pattern matching only)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote + quote)
+        else:
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def extract_macro_arg(text, start):
+    """Return the balanced-paren argument of a macro call starting at the
+    opening paren, possibly spanning lines (text is the joined remainder)."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i]
+    return text[start + 1:]
+
+
+def lint_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+    code_lines = [strip_strings_and_comments(l) for l in raw_lines]
+    in_sched = rel.startswith("src/sched/")
+    new_exempt = any(rel.startswith(p) for p in RAW_NEW_EXEMPT)
+
+    for idx, code in enumerate(code_lines):
+        lineno = idx + 1
+
+        if not new_exempt:
+            m = RAW_NEW_RE.search(code)
+            if m and not waived(raw_lines, idx, "raw-new"):
+                findings.append(
+                    (rel, lineno, "raw-new",
+                     f"raw `new {m.group(1)}` outside src/runtime/ bypasses "
+                     "the JobArena"))
+
+        if in_sched:
+            if STD_MUTEX_RE.search(code) and not waived(raw_lines, idx,
+                                                        "std-mutex"):
+                findings.append(
+                    (rel, lineno, "std-mutex",
+                     "std::mutex family in a scheduler hot path — use "
+                     "sched::Spinlock or move it off the hot path"))
+            if STD_DEQUE_RE.search(code) and not waived(raw_lines, idx,
+                                                        "std-deque"):
+                findings.append(
+                    (rel, lineno, "std-deque",
+                     "std::deque in src/sched/ needs an explicit "
+                     "`// lint:allow(std-deque)` waiver"))
+
+        m = SBS_ASSERT_RE.search(code)
+        if m:
+            remainder = "\n".join(code_lines[idx:])
+            offset = sum(len(l) + 1 for l in code_lines[:0])  # 0; kept clear
+            arg = extract_macro_arg(remainder,
+                                    m.end() - 1 + offset)
+            if any(r.search(arg) for r in MUTATION_RES) and not waived(
+                    raw_lines, idx, "assert-se"):
+                findings.append(
+                    (rel, lineno, "assert-se",
+                     "SBS_ASSERT argument has side effects; it compiles "
+                     "out under NDEBUG"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = parser.parse_args()
+
+    findings = []
+    scanned = 0
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(args.root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, filenames in os.walk(top):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, args.root)
+                lint_file(path, rel, findings)
+                scanned += 1
+
+    for rel, lineno, rule, message in sorted(findings):
+        print(f"{rel}:{lineno}: [{rule}] {message}")
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {scanned} files")
+        return 1
+    print(f"lint: OK ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
