@@ -1,0 +1,152 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::service {
+
+const char* PolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kQueue:
+      return "queue";
+    case AdmissionPolicy::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+AdmissionPolicy ParsePolicy(const std::string& name) {
+  if (name == "reject") return AdmissionPolicy::kReject;
+  if (name == "queue") return AdmissionPolicy::kQueue;
+  if (name == "degrade") return AdmissionPolicy::kDegrade;
+  SBS_CHECK_MSG(false, "admission policy must be reject|queue|degrade");
+  return AdmissionPolicy::kReject;
+}
+
+AdmissionController::AdmissionController(const machine::Topology& topo,
+                                         const AdmissionOptions& options)
+    : topo_(topo),
+      options_(options),
+      reserved_(static_cast<std::size_t>(topo.num_nodes())) {
+  SBS_CHECK_MSG(options_.sigma > 0 && options_.sigma <= 1.0,
+                "admission sigma must be in (0,1]");
+  const int depths = topo.leaf_depth();
+  budget_by_depth_.assign(static_cast<std::size_t>(depths), 0);
+  for (int d = 1; d < depths; ++d) {
+    const std::uint64_t cap = topo.config().levels[static_cast<std::size_t>(d)].size;
+    budget_by_depth_[static_cast<std::size_t>(d)] = static_cast<std::uint64_t>(
+        options_.sigma * static_cast<double>(cap));
+  }
+}
+
+int AdmissionController::befit_depth(std::uint64_t declared_bytes) const {
+  for (int d = topo_.num_cache_levels(); d >= 1; --d) {
+    if (declared_bytes <= budget_by_depth_[static_cast<std::size_t>(d)])
+      return d;
+  }
+  return 0;
+}
+
+bool AdmissionController::fits_any_cache(std::uint64_t declared_bytes) const {
+  return befit_depth(declared_bytes) >= 1;
+}
+
+bool AdmissionController::try_charge_path(int node, std::uint64_t bytes) {
+  // Bottom-up CAS charge with rollback, mirroring the scheduler's
+  // bounded-occupancy admission (sched/sb.cpp). The root (depth 0) is
+  // memory and unlimited, so the walk stops below it.
+  int charged[16];
+  int n_charged = 0;
+  for (int id = node; topo_.node(id).depth > 0; id = topo_.node(id).parent) {
+    const std::uint64_t cap =
+        budget_by_depth_[static_cast<std::size_t>(topo_.node(id).depth)];
+    auto& reserved = reserved_[static_cast<std::size_t>(id)].reserved;
+    std::uint64_t cur = reserved.load(std::memory_order_relaxed);
+    bool ok = false;
+    while (cur + bytes <= cap) {
+      if (reserved.compare_exchange_weak(cur, cur + bytes,
+                                         std::memory_order_acq_rel)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      for (int i = 0; i < n_charged; ++i) {
+        reserved_[static_cast<std::size_t>(charged[i])].reserved.fetch_sub(
+            bytes, std::memory_order_acq_rel);
+      }
+      return false;
+    }
+    SBS_ASSERT(n_charged < 16);
+    charged[n_charged++] = id;
+  }
+  return true;
+}
+
+void AdmissionController::release_path(int node, std::uint64_t bytes) {
+  for (int id = node; topo_.node(id).depth > 0; id = topo_.node(id).parent) {
+    [[maybe_unused]] const std::uint64_t prev =
+        reserved_[static_cast<std::size_t>(id)].reserved.fetch_sub(
+            bytes, std::memory_order_acq_rel);
+    SBS_ASSERT(prev >= bytes);
+  }
+}
+
+AdmissionDecision AdmissionController::try_admit(std::uint64_t declared_bytes) {
+  AdmissionDecision decision;
+  const int d = befit_depth(declared_bytes);
+  decision.depth = d;
+  if (d == 0) {
+    decision.kind = AdmissionDecision::Kind::kTooLarge;
+    too_large_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+
+  // Least-loaded first: sort the depth-d candidates by current reservation
+  // so concurrent tenants spread across sibling caches instead of piling
+  // onto the leftmost one.
+  std::vector<int> candidates = topo_.nodes_at_depth(d);
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    return reserved(a) < reserved(b);
+  });
+  for (int id : candidates) {
+    if (try_charge_path(id, declared_bytes)) {
+      decision.kind = AdmissionDecision::Kind::kAdmitted;
+      decision.node = id;
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      return decision;
+    }
+  }
+  decision.kind = AdmissionDecision::Kind::kNoBudget;
+  no_budget_.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+void AdmissionController::release(int node, std::uint64_t declared_bytes) {
+  release_path(node, declared_bytes);
+}
+
+std::uint64_t AdmissionController::reserved(int node) const {
+  return reserved_[static_cast<std::size_t>(node)].reserved.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t AdmissionController::budget(int node) const {
+  return budget_by_depth_[static_cast<std::size_t>(topo_.node(node).depth)];
+}
+
+std::string AdmissionController::stats_string() const {
+  std::ostringstream out;
+  out << "policy=" << PolicyName(options_.policy)
+      << " sigma=" << options_.sigma
+      << " admitted=" << admitted_.load()
+      << " no_budget=" << no_budget_.load()
+      << " too_large=" << too_large_.load();
+  return out.str();
+}
+
+}  // namespace sbs::service

@@ -1,0 +1,112 @@
+// σM-budget admission control for the scheduler-as-a-service mode.
+//
+// The space-bounded schedulers (paper §4.1) bound, at every cache, the sum
+// of anchored-task footprints by the dilated capacity σ·M_i. In one-shot
+// batch runs that bound is enforced reactively — a maximal task whose
+// charge would overflow stays queued. A long-running service can use the
+// same accounting *proactively*: a submitted job stream declares its
+// footprint up front, and the controller only admits it if the declaration
+// still fits the remaining σM budget of some cache at the job's befitting
+// level (charging the whole path up to the root, mirroring
+// SpaceBounded::try_charge_path). Everything else is a policy decision:
+// reject outright, queue with a deadline, or degrade to best-effort
+// work stealing with no reservation.
+//
+// The controller is scheduler-agnostic bookkeeping over the Topology — it
+// never blocks and never touches the scheduler; the service runtime owns
+// the queueing/degradation mechanics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/topology.h"
+
+namespace sbs::service {
+
+enum class AdmissionPolicy {
+  kReject,   ///< over-budget submissions fail immediately
+  kQueue,    ///< over-budget submissions wait (with a deadline) for releases
+  kDegrade,  ///< over-budget submissions run unreserved under plain WS
+};
+
+struct AdmissionOptions {
+  /// Dilation σ ∈ (0,1]; budgets are σ·M_d per cache. Should match the
+  /// space-bounded scheduler's σ so reservations and anchors agree.
+  double sigma = 0.5;
+  AdmissionPolicy policy = AdmissionPolicy::kReject;
+  /// kQueue: how long a submission may wait before it is failed.
+  double queue_timeout_s = 5.0;
+  /// kQueue: submissions beyond this backlog are rejected outright.
+  std::size_t max_queue = 4096;
+};
+
+const char* PolicyName(AdmissionPolicy policy);
+/// Parse "reject" | "queue" | "degrade"; SBS_CHECKs on anything else.
+AdmissionPolicy ParsePolicy(const std::string& name);
+
+/// Outcome of one admission attempt. kAdmitted carries the reserved cache
+/// node; the service releases it when the job completes.
+struct AdmissionDecision {
+  enum class Kind {
+    kAdmitted,   ///< budget reserved at `node`
+    kNoBudget,   ///< fits some cache level, but budgets are exhausted now
+    kTooLarge,   ///< exceeds σM of every cache — can never be admitted
+  };
+  Kind kind = Kind::kNoBudget;
+  int node = -1;   ///< reserved cache node id (kAdmitted only)
+  int depth = -1;  ///< befitting tree depth of the declaration
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const machine::Topology& topo,
+                      const AdmissionOptions& options);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Non-blocking. Finds the befitting cache level for `declared_bytes`
+  /// (deepest d with bytes ≤ σ·M_d) and reserves the declaration on the
+  /// least-loaded depth-d cache whose whole path to the root still fits.
+  /// Thread-safe; concurrent attempts race on per-node CAS like the
+  /// scheduler's own occupancy admission.
+  AdmissionDecision try_admit(std::uint64_t declared_bytes);
+
+  /// Return a reservation made by try_admit (same node and byte count).
+  void release(int node, std::uint64_t declared_bytes);
+
+  /// True iff the declaration fits σM of at least one real cache — i.e. a
+  /// queue-policy submission could *ever* be admitted. Over-large
+  /// submissions must be failed immediately, not parked forever.
+  bool fits_any_cache(std::uint64_t declared_bytes) const;
+
+  /// Befitting tree depth (deepest cache level with bytes ≤ σ·M_d);
+  /// 0 = nothing but memory fits.
+  int befit_depth(std::uint64_t declared_bytes) const;
+
+  std::uint64_t reserved(int node) const;
+  /// σ·M budget of a node (by its depth); 0 at the root (= unlimited).
+  std::uint64_t budget(int node) const;
+
+  std::string stats_string() const;
+
+ private:
+  bool try_charge_path(int node, std::uint64_t bytes);
+  void release_path(int node, std::uint64_t bytes);
+
+  const machine::Topology& topo_;
+  AdmissionOptions options_;
+  /// σ·M_d per depth; 0 = unlimited (memory).
+  std::vector<std::uint64_t> budget_by_depth_;
+  struct alignas(64) NodeBudget {
+    std::atomic<std::uint64_t> reserved{0};
+  };
+  std::vector<NodeBudget> reserved_;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> no_budget_{0};
+  std::atomic<std::uint64_t> too_large_{0};
+};
+
+}  // namespace sbs::service

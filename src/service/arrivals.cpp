@@ -1,0 +1,149 @@
+#include "service/arrivals.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace sbs::service {
+
+double ExponentialSample(Rng& rng, double mean) {
+  // Inverse CDF on (0,1]: -mean·ln(u). next_double() is in [0,1); flip it
+  // so the log argument never hits zero.
+  const double u = 1.0 - rng.next_double();
+  return -mean * std::log(u);
+}
+
+namespace {
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(const PoissonParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed) {
+    SBS_CHECK_MSG(params_.rate_per_s > 0, "poisson rate must be positive");
+  }
+  double next() override {
+    now_ += ExponentialSample(rng_, 1.0 / params_.rate_per_s);
+    return now_;
+  }
+  std::string name() const override { return "poisson"; }
+
+ private:
+  PoissonParams params_;
+  Rng rng_;
+  double now_ = 0;
+};
+
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(const MmppParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed) {
+    SBS_CHECK_MSG(params_.quiet_rate_per_s > 0 && params_.burst_rate_per_s > 0,
+                  "mmpp rates must be positive");
+    SBS_CHECK_MSG(params_.mean_quiet_s > 0 && params_.mean_burst_s > 0,
+                  "mmpp dwell times must be positive");
+    state_end_ = ExponentialSample(rng_, params_.mean_quiet_s);
+  }
+  double next() override {
+    for (;;) {
+      const double rate =
+          bursting_ ? params_.burst_rate_per_s : params_.quiet_rate_per_s;
+      const double gap = ExponentialSample(rng_, 1.0 / rate);
+      if (now_ + gap <= state_end_) {
+        now_ += gap;
+        return now_;
+      }
+      // Rate change mid-gap: advance to the switch and redraw (the
+      // exponential's memorylessness makes the redraw exact).
+      now_ = state_end_;
+      bursting_ = !bursting_;
+      state_end_ = now_ + ExponentialSample(rng_, bursting_
+                                                      ? params_.mean_burst_s
+                                                      : params_.mean_quiet_s);
+    }
+  }
+  std::string name() const override { return "mmpp"; }
+
+ private:
+  MmppParams params_;
+  Rng rng_;
+  double now_ = 0;
+  double state_end_ = 0;
+  bool bursting_ = false;
+};
+
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(const DiurnalParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed) {
+    SBS_CHECK_MSG(params_.base_rate_per_s > 0, "diurnal rate must be positive");
+    SBS_CHECK_MSG(params_.amplitude >= 0 && params_.amplitude < 1.0,
+                  "diurnal amplitude must be in [0,1)");
+    SBS_CHECK_MSG(params_.period_s > 0, "diurnal period must be positive");
+  }
+  double next() override {
+    // Thinning (Lewis & Shedler): draw from the peak-rate Poisson process
+    // and accept each candidate with probability λ(t)/λ_max.
+    const double peak = params_.base_rate_per_s * (1.0 + params_.amplitude);
+    for (;;) {
+      now_ += ExponentialSample(rng_, 1.0 / peak);
+      const double rate =
+          params_.base_rate_per_s *
+          (1.0 + params_.amplitude *
+                     std::sin(2.0 * M_PI * now_ / params_.period_s));
+      if (rng_.next_double() * peak <= rate) return now_;
+    }
+  }
+  std::string name() const override { return "diurnal"; }
+
+ private:
+  DiurnalParams params_;
+  Rng rng_;
+  double now_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalProcess> MakePoissonArrivals(const PoissonParams& params,
+                                                    std::uint64_t seed) {
+  return std::make_unique<PoissonArrivals>(params, seed);
+}
+
+std::unique_ptr<ArrivalProcess> MakeMmppArrivals(const MmppParams& params,
+                                                 std::uint64_t seed) {
+  return std::make_unique<MmppArrivals>(params, seed);
+}
+
+std::unique_ptr<ArrivalProcess> MakeDiurnalArrivals(const DiurnalParams& params,
+                                                    std::uint64_t seed) {
+  return std::make_unique<DiurnalArrivals>(params, seed);
+}
+
+std::unique_ptr<ArrivalProcess> MakeArrivals(const std::string& kind,
+                                             double rate_per_s,
+                                             std::uint64_t seed) {
+  if (kind == "poisson") {
+    PoissonParams p;
+    p.rate_per_s = rate_per_s;
+    return MakePoissonArrivals(p, seed);
+  }
+  if (kind == "mmpp") {
+    // Same mean rate as the Poisson baseline: dwell-weighted average of the
+    // two state rates equals rate_per_s with the 5:1 quiet:burst dwell split
+    // below (5/6·0.5x + 1/6·3.5x = 1x).
+    MmppParams p;
+    p.quiet_rate_per_s = 0.5 * rate_per_s;
+    p.burst_rate_per_s = 3.5 * rate_per_s;
+    p.mean_quiet_s = 0.5;
+    p.mean_burst_s = 0.1;
+    return MakeMmppArrivals(p, seed);
+  }
+  if (kind == "diurnal") {
+    DiurnalParams p;
+    p.base_rate_per_s = rate_per_s;
+    return MakeDiurnalArrivals(p, seed);
+  }
+  SBS_CHECK_MSG(false, "arrival process must be poisson|mmpp|diurnal");
+  return nullptr;
+}
+
+}  // namespace sbs::service

@@ -1,0 +1,62 @@
+#include "service/degrade.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace sbs::service {
+
+DegradeMux::DegradeMux(std::unique_ptr<runtime::Scheduler> primary,
+                       std::unique_ptr<runtime::Scheduler> fallback)
+    : primary_(std::move(primary)), fallback_(std::move(fallback)) {
+  SBS_CHECK(primary_ != nullptr && fallback_ != nullptr);
+  SBS_CHECK_MSG(!fallback_->needs_size_annotations(),
+                "degrade fallback must accept unannotated work");
+}
+
+void DegradeMux::start(const machine::Topology& topo, int num_threads) {
+  primary_->start(topo, num_threads);
+  fallback_->start(topo, num_threads);
+}
+
+void DegradeMux::finish() {
+  primary_->finish();
+  fallback_->finish();
+}
+
+void DegradeMux::add(runtime::Job* job, int thread_id) {
+  if (is_degraded(job->task())) {
+    degraded_strands_.fetch_add(1, std::memory_order_relaxed);
+    fallback_->add(job, thread_id);
+  } else {
+    primary_->add(job, thread_id);
+  }
+}
+
+runtime::Job* DegradeMux::get(int thread_id) {
+  if (runtime::Job* job = primary_->get(thread_id)) return job;
+  return fallback_->get(thread_id);
+}
+
+void DegradeMux::done(runtime::Job* job, int thread_id, bool task_completed) {
+  if (job->task()->anchor == kDegradedAnchor) {
+    fallback_->done(job, thread_id, task_completed);
+  } else {
+    primary_->done(job, thread_id, task_completed);
+  }
+}
+
+std::string DegradeMux::name() const {
+  return primary_->name() + "+wsfallback";
+}
+
+std::string DegradeMux::stats_string() const {
+  std::ostringstream out;
+  out << primary_->stats_string() << " degraded_strands="
+      << degraded_strands_.load(std::memory_order_relaxed);
+  const std::string fb = fallback_->stats_string();
+  if (!fb.empty()) out << " fallback{" << fb << "}";
+  return out.str();
+}
+
+}  // namespace sbs::service

@@ -1,0 +1,105 @@
+// Latency accounting for the service mode: per-tenant and aggregate sojourn
+// time, queueing delay, admission outcomes, and sustained throughput.
+//
+// The paper reports batch wall time; a service is judged on its *latency
+// distribution* under sustained load (Rito & Paulino argue schedulers
+// should be compared on multi-job behaviour). Sojourn = completion −
+// arrival; queueing delay = dispatch − arrival (time spent parked in the
+// admission queue plus scheduler pickup); service time = completion −
+// dispatch. Percentiles are streamed through util P2Quantile (p50/p99/
+// p99.9 in O(1) space), so the accounting layer adds no per-sample
+// allocation on the completion path.
+//
+// Export follows the repo's JSONL-metrics convention (trace/analysis.h):
+// one JSON object per line, labeled, appendable across sweep cells so a
+// whole scheduler comparison lands in one file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/thread_safety.h"
+
+namespace sbs::service {
+
+/// Streaming p50/p99/p99.9 bundle.
+struct LatencyQuantiles {
+  LatencyQuantiles() : p50(0.5), p99(0.99), p999(0.999) {}
+  void add(double x) {
+    p50.add(x);
+    p99.add(x);
+    p999.add(x);
+    sum += x;
+    if (x > max) max = x;
+    ++n;
+  }
+  double mean() const { return n == 0 ? 0 : sum / static_cast<double>(n); }
+  P2Quantile p50, p99, p999;
+  double sum = 0;
+  double max = 0;
+  std::uint64_t n = 0;
+};
+
+struct TenantCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;   ///< dispatched immediately
+  std::uint64_t queued = 0;     ///< parked before (possibly) dispatching
+  std::uint64_t degraded = 0;   ///< dispatched unreserved to the WS fallback
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t completed = 0;
+  LatencyQuantiles sojourn_s;
+  LatencyQuantiles queueing_s;
+  LatencyQuantiles service_s;
+
+  double rejection_rate() const {
+    return submitted == 0 ? 0
+                          : static_cast<double>(rejected + timed_out) /
+                                static_cast<double>(submitted);
+  }
+};
+
+/// Thread-safe sink: submit-side events come from client threads, the
+/// completion events from workers. One mutex guards everything — the
+/// per-event critical section is a few P² marker updates, far off any
+/// per-strand hot path (events fire once per *job*, not per task).
+class ServiceMetrics {
+ public:
+  explicit ServiceMetrics(int num_tenants);
+
+  void on_submit(int tenant);
+  void on_admit(int tenant);
+  void on_queue(int tenant);
+  void on_degrade(int tenant);
+  void on_reject(int tenant);
+  void on_timeout(int tenant);
+  void on_complete(int tenant, double sojourn_s, double queueing_s,
+                   double service_s);
+
+  /// Consistent copy of one tenant's counters / the all-tenant aggregate.
+  TenantCounters tenant(int tenant) const;
+  TenantCounters aggregate() const;
+  int num_tenants() const;
+
+  /// Completed jobs per second over the given span.
+  double throughput(double span_s) const;
+
+  /// One-line human-readable summary of the aggregate.
+  std::string summary(double span_s) const;
+
+ private:
+  mutable util::Mutex mutex_;
+  std::vector<TenantCounters> tenants_ SBS_GUARDED_BY(mutex_);
+  TenantCounters aggregate_ SBS_GUARDED_BY(mutex_);
+};
+
+/// Append one JSONL record (a single JSON line) with the aggregate and the
+/// per-tenant breakdown to `path`. `truncate` starts the file afresh.
+/// Returns false if the file could not be written.
+bool WriteServiceMetricsJsonl(const ServiceMetrics& metrics, double span_s,
+                              const std::string& path,
+                              const std::string& label, bool truncate = false);
+
+}  // namespace sbs::service

@@ -18,6 +18,20 @@ Rules:
   assert-se   SBS_ASSERT compiles out under NDEBUG, so its argument must
               not have side effects (++/--/assignment/mutating calls) —
               otherwise release builds change behavior.
+  blocking-call
+              The service layer (src/service/) promises a non-blocking
+              submit path: Runtime::submit and the admission controller
+              must never sleep, join, or wait on a condition variable
+              (client threads call them at arrival rate). Every blocking
+              primitive in src/service/ therefore needs a waiver naming
+              why it is off the submit path (idle backoff, waiters,
+              teardown). A blocking call that sneaks into submit/admission
+              code has no such justification and fails review by rule.
+  wallclock-seed
+              All randomness flows through sbs::Rng with explicit seeds
+              (determinism contract, see service/arrivals.h). Seeding from
+              std::random_device, srand(), or time() makes runs
+              irreproducible and is banned repo-wide.
 
 Waivers: append `// lint:allow(<rule>)` on the offending line or the line
 directly above it.
@@ -42,6 +56,12 @@ RAW_NEW_RE = re.compile(r"\bnew\s+(?:[A-Za-z_][\w:]*::)?"
 STD_MUTEX_RE = re.compile(r"\bstd::(mutex|recursive_mutex|shared_mutex|"
                           r"timed_mutex|condition_variable)\b")
 STD_DEQUE_RE = re.compile(r"\bstd::deque\b")
+BLOCKING_CALL_RE = re.compile(
+    r"\b(?:sleep_for|sleep_until|yield)\s*\("
+    r"|\.\s*(?:wait|wait_for|wait_until|join)\s*\(")
+WALLCLOCK_SEED_RE = re.compile(
+    r"\bstd::random_device\b|\bsrand\s*\("
+    r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
 SBS_ASSERT_RE = re.compile(r"\bSBS_ASSERT\s*\(")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -113,6 +133,7 @@ def lint_file(path, rel, findings):
         raw_lines = f.read().splitlines()
     code_lines = [strip_strings_and_comments(l) for l in raw_lines]
     in_sched = rel.startswith("src/sched/")
+    in_service = rel.startswith("src/service/")
     new_exempt = any(rel.startswith(p) for p in RAW_NEW_EXEMPT)
 
     for idx, code in enumerate(code_lines):
@@ -139,6 +160,21 @@ def lint_file(path, rel, findings):
                     (rel, lineno, "std-deque",
                      "std::deque in src/sched/ needs an explicit "
                      "`// lint:allow(std-deque)` waiver"))
+
+        if in_service and BLOCKING_CALL_RE.search(code) and not waived(
+                raw_lines, idx, "blocking-call"):
+            findings.append(
+                (rel, lineno, "blocking-call",
+                 "blocking primitive in src/service/ — the submit path is "
+                 "non-blocking by contract; waive with a justification if "
+                 "this is an idle/waiter/teardown path"))
+
+        if WALLCLOCK_SEED_RE.search(code) and not waived(
+                raw_lines, idx, "wallclock-seed"):
+            findings.append(
+                (rel, lineno, "wallclock-seed",
+                 "wall-clock / random_device seeding breaks the explicit-"
+                 "seed determinism contract — plumb an sbs::Rng seed"))
 
         m = SBS_ASSERT_RE.search(code)
         if m:
