@@ -1,0 +1,173 @@
+// Simulator throughput: simulated accesses per host-second on the paper's
+// xeon7560_fig4 machine (samplesort, WS), serial and with parallel window
+// execution, plus a huge-machine configuration that exercises the sharded
+// path at scale.
+//
+// Writes BENCH_sim_throughput.json. Every simulated run here is
+// deterministic: for a given (machine, kernel, n, skew_quantum), the
+// makespan and counters are bit-identical for every --host-threads value
+// (see src/sim/engine.h); the bench asserts this before reporting.
+//
+//   ./sim_throughput             # full matrix (n=1M, huge64 scaling)
+//   ./sim_throughput --smoke     # CI: small n, still asserts parallel==serial
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.h"
+#include "machine/config.h"
+#include "machine/topology.h"
+#include "sched/registry.h"
+#include "sim/engine.h"
+#include "util/assert.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace sbs;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  double best_wall_s = 1e300;
+  std::uint64_t accesses = 0;
+  std::uint64_t makespan = 0;
+  double acc_per_sec = 0;
+};
+
+/// Run `kernel_name`/WS on `cfg` with the given engine knobs `reps` times;
+/// keep the best wall time. The SimResult is identical across reps (the
+/// engine guarantees it), so counters come from the last run.
+Measurement measure(const machine::MachineConfig& cfg,
+                    const std::string& kernel_name, std::size_t n,
+                    std::uint64_t quantum, int host_threads, int reps) {
+  machine::Topology topo(cfg);
+  sim::SimParams sp;
+  sp.skew_quantum = quantum;
+  sp.host_threads = host_threads;
+  sim::SimEngine eng(topo, sp);
+
+  kernels::KernelParams kp;
+  kp.n = n;
+  Measurement m;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto kernel = kernels::MakeKernel(kernel_name, kp);
+    kernel->prepare(1);
+    sched::SchedulerSpec spec;
+    spec.name = "WS";
+    auto sched = sched::MakeScheduler(spec);
+    const double t0 = now_s();
+    const sim::SimResult r = eng.run(*sched, kernel->make_root());
+    const double dt = now_s() - t0;
+    SBS_CHECK_MSG(kernel->verify(), "bench kernel verify failed");
+    SBS_CHECK_MSG(m.makespan == 0 || m.makespan == r.makespan_cycles,
+                  "simulator nondeterministic across repetitions");
+    m.makespan = r.makespan_cycles;
+    m.accesses = r.counters.accesses;
+    m.best_wall_s = std::min(m.best_wall_s, dt);
+  }
+  m.acc_per_sec = static_cast<double>(m.accesses) / m.best_wall_s;
+  return m;
+}
+
+void emit(JsonWriter& w, const char* key, const Measurement& m) {
+  w.key(key).begin_object();
+  w.kv("accesses", m.accesses);
+  w.kv("best_wall_s", m.best_wall_s);
+  w.kv("accesses_per_sec", m.acc_per_sec);
+  w.kv("makespan_cycles", m.makespan);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::size_t n = smoke ? 100000 : 1000000;
+  const int reps = smoke ? 1 : 3;
+  const std::uint64_t quantum = 10000;
+
+  const machine::MachineConfig xeon =
+      machine::LoadConfigFile("configs/xeon7560_fig4.cfg");
+
+  // Serial and parallel on the paper's machine. host_threads is clamped to
+  // the socket count (4 here).
+  const Measurement serial =
+      measure(xeon, "samplesort", n, quantum, /*host_threads=*/1, reps);
+  const Measurement par4 =
+      measure(xeon, "samplesort", n, quantum, /*host_threads=*/4, reps);
+  SBS_CHECK_MSG(serial.makespan == par4.makespan &&
+                    serial.accesses == par4.accesses,
+                "parallel window execution diverged from serial");
+  std::printf("xeon7560 samplesort n=%zu: serial %.1fM acc/s, ht=4 %.1fM "
+              "acc/s (makespan %llu, identical)\n",
+              n, serial.acc_per_sec / 1e6, par4.acc_per_sec / 1e6,
+              static_cast<unsigned long long>(serial.makespan));
+
+  // The huge sharded configuration (64 sockets, 4 cache levels, 512
+  // threads): where parallel window execution pays.
+  const machine::MachineConfig huge =
+      machine::LoadConfigFile("configs/huge64_4level.cfg");
+  const std::size_t huge_n = smoke ? 100000 : 1000000;
+  const Measurement huge1 =
+      measure(huge, "samplesort", huge_n, quantum, /*host_threads=*/1,
+              reps);
+  const Measurement huge8 =
+      measure(huge, "samplesort", huge_n, quantum, /*host_threads=*/8,
+              reps);
+  SBS_CHECK_MSG(huge1.makespan == huge8.makespan &&
+                    huge1.accesses == huge8.accesses,
+                "parallel window execution diverged from serial (huge64)");
+  std::printf("huge64 samplesort n=%zu: serial %.1fM acc/s, ht=8 %.1fM "
+              "acc/s (makespan %llu, identical)\n",
+              huge_n, huge1.acc_per_sec / 1e6, huge8.acc_per_sec / 1e6,
+              static_cast<unsigned long long>(huge1.makespan));
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "sim_throughput");
+  w.kv("schema_version", 1);
+  w.kv("smoke", smoke);
+  w.kv("kernel", "samplesort");
+  w.kv("sched", "WS");
+  w.kv("n", n);
+  w.kv("skew_quantum", quantum);
+  // Measured at the seed of this change series (commit 00f9302, same
+  // machine/kernel/n/quantum): 9.2M simulated accesses per host-second.
+  w.kv("baseline_accesses_per_sec_at_00f9302", 9200000);
+  w.key("xeon7560_fig4").begin_object();
+  emit(w, "host_threads_1", serial);
+  emit(w, "host_threads_4", par4);
+  w.kv("parallel_equals_serial", true);
+  w.end_object();
+  w.key("huge64_4level").begin_object();
+  w.kv("n", huge_n);
+  emit(w, "host_threads_1", huge1);
+  emit(w, "host_threads_8", huge8);
+  w.kv("parallel_equals_serial", true);
+  w.end_object();
+  w.end_object();
+
+  const char* path = "BENCH_sim_throughput.json";
+  if (!smoke) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      std::fclose(f);
+      std::printf("wrote %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -37,6 +37,11 @@ class AccessSink {
   virtual void touch(std::uintptr_t addr, std::uint64_t bytes, bool write) = 0;
   /// `cycles` of pure computation by the current strand.
   virtual void work(std::uint64_t cycles) = 0;
+  /// Allocation stream of code running under this sink (see arena below).
+  /// The simulator returns the virtual core id so that mid-run allocations
+  /// are placed deterministically; the default (host stream) is for
+  /// everything outside simulated strands.
+  virtual int stream_id() const { return -1; }
 };
 
 /// The sink of the strand running on this (real or fiber) thread context.
@@ -66,10 +71,25 @@ inline void work(std::uint64_t cycles) {
 /// across process runs; (ii) freed chunks release their physical pages
 /// (MADV_DONTNEED) but keep their virtual address for the next same-size
 /// array — repeated repetitions reuse identical addresses.
+///
+/// The region is split into a host stream plus one *transient stream* per
+/// virtual core (keyed by AccessSink::stream_id() of the installed sink).
+/// Arrays allocated inside a simulated strand come from the owning core's
+/// stream, so their addresses are a pure function of that core's
+/// deterministic execution — not of how window phases interleave on host
+/// threads. Without this, a kernel that allocates scratch arrays mid-run
+/// would see different page→socket homes under different host_threads
+/// values, breaking the engine's bit-identical-results guarantee. The
+/// engine calls reset_transient() at the start of every run so repeated
+/// runs in one process replay identical addresses.
 namespace arena {
 void* alloc(std::size_t bytes);          ///< bytes rounded up to 2 MB chunks
 void free(void* ptr, std::size_t bytes);
 std::size_t allocated_bytes();           ///< current live total (diagnostics)
+/// Rewind every per-core transient stream (all its chunks must have been
+/// freed) so the next run's mid-strand allocations replay the same
+/// addresses. Host-stream allocations (kernel inputs) are untouched.
+void reset_transient();
 }  // namespace arena
 
 /// RAII installer used by the simulator around strand execution.

@@ -32,6 +32,31 @@ inline void cpu_relax() {
 #endif
 }
 
+#if defined(__SANITIZE_THREAD__)
+#define SBS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SBS_TSAN 1
+#endif
+#endif
+#ifndef SBS_TSAN
+#define SBS_TSAN 0
+#endif
+
+/// Full StoreLoad barrier, equivalent to
+/// std::atomic_thread_fence(seq_cst) but lowered to a locked RMW on the
+/// stack instead of `mfence` on x86-64 (≈20 vs ≈35+ cycles; both compilers
+/// still emit mfence for the portable fence). The locked no-op does not
+/// order non-temporal stores — none are issued anywhere in src/sched/.
+/// Under TSan the portable fence is kept so the race detector can see it.
+inline void seq_cst_fence() {
+#if defined(__x86_64__) && !SBS_TSAN
+  __asm__ __volatile__("lock; orl $0, (%%rsp)" ::: "memory", "cc");
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /// Test-and-test-and-set spinlock (critical sections in schedulers are a
 /// few queue operations long; CP.20: always used through RAII guards).
 /// Declared as a thread-safety capability: fields it protects carry

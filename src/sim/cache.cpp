@@ -20,12 +20,15 @@ Cache::Cache(std::uint64_t size_bytes, std::uint32_t line_bytes,
   ways_.assign(num_sets_ * assoc_, Way{});
 }
 
-bool Cache::probe_and_touch(std::uint64_t line, bool mark_dirty) {
+bool Cache::probe_and_touch(std::uint64_t line, bool mark_dirty,
+                            std::uint8_t* flags, std::uint16_t* holders) {
   Way* set = set_begin(set_index(line));
   for (std::uint32_t w = 0; w < assoc_; ++w) {
     if (set[w].valid && set[w].line == line) {
       Way hit = set[w];
       if (mark_dirty) hit.dirty = true;
+      if (flags != nullptr) *flags = hit.flags;
+      if (holders != nullptr) *holders = hit.holders;
       // Move to MRU (front), shifting the ways in between.
       for (std::uint32_t i = w; i > 0; --i) set[i] = set[i - 1];
       set[0] = hit;
@@ -35,7 +38,8 @@ bool Cache::probe_and_touch(std::uint64_t line, bool mark_dirty) {
   return false;
 }
 
-Cache::Evicted Cache::fill(std::uint64_t line, bool dirty) {
+Cache::Evicted Cache::fill(std::uint64_t line, bool dirty,
+                           std::uint8_t flags) {
   Way* set = set_begin(set_index(line));
   SBS_ASSERT(!contains(line));
   Evicted out;
@@ -47,15 +51,18 @@ Cache::Evicted Cache::fill(std::uint64_t line, bool dirty) {
     out.valid = true;
     out.line = victim.line;
     out.dirty = victim.dirty;
+    out.holders = victim.holders;
     --resident_;
   }
   for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
-  set[0] = Way{line, true, dirty};
+  set[0] = Way{line, true, dirty, 0, flags};
   ++resident_;
+  ++generation_;
   return out;
 }
 
-bool Cache::fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted) {
+bool Cache::fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted,
+                           std::uint8_t flags) {
   Way* set = set_begin(set_index(line));
   for (std::uint32_t w = 0; w < assoc_; ++w) {
     if (set[w].valid && set[w].line == line) {
@@ -73,27 +80,78 @@ bool Cache::fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted) {
     evicted->valid = true;
     evicted->line = victim.line;
     evicted->dirty = victim.dirty;
+    evicted->holders = victim.holders;
     --resident_;
   }
   for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
-  set[0] = Way{line, true, dirty};
+  set[0] = Way{line, true, dirty, 0, flags};
   ++resident_;
+  ++generation_;
   return true;
 }
 
-bool Cache::invalidate(std::uint64_t line, bool* was_dirty) {
+bool Cache::set_flags(std::uint64_t line, std::uint8_t flags) {
   Way* set = set_begin(set_index(line));
   for (std::uint32_t w = 0; w < assoc_; ++w) {
     if (set[w].valid && set[w].line == line) {
-      if (was_dirty != nullptr) *was_dirty = set[w].dirty;
-      // Shift the tail up so invalid ways stay at the back (LRU end).
-      for (std::uint32_t i = w; i + 1 < assoc_; ++i) set[i] = set[i + 1];
-      set[assoc_ - 1] = Way{};
-      --resident_;
+      set[w].flags = flags;
       return true;
     }
   }
   return false;
+}
+
+int Cache::mark_shared(std::uint64_t line, std::uint8_t bits,
+                       std::uint8_t* old_flags) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      if (old_flags != nullptr) *old_flags = set[w].flags;
+      set[w].flags |= bits;
+      if (bits & kFlagCrossShared) set[w].flags &= ~kFlagCrossUnknown;
+      return set[w].holders;
+    }
+  }
+  return -1;
+}
+
+bool Cache::invalidate(std::uint64_t line, bool* was_dirty,
+                       std::uint16_t* holders) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      if (was_dirty != nullptr) *was_dirty = set[w].dirty;
+      if (holders != nullptr) *holders = set[w].holders;
+      // Shift the tail up so invalid ways stay at the back (LRU end).
+      for (std::uint32_t i = w; i + 1 < assoc_; ++i) set[i] = set[i + 1];
+      set[assoc_ - 1] = Way{};
+      --resident_;
+      ++generation_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint16_t Cache::set_holder_bit(std::uint64_t line, std::uint32_t bit) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) {
+      const std::uint16_t old = set[w].holders;
+      set[w].holders = old | static_cast<std::uint16_t>(1u << bit);
+      return old;
+    }
+  }
+  SBS_CHECK_MSG(false, "set_holder_bit on a non-resident line (inclusion)");
+  return 0;
+}
+
+std::uint16_t* Cache::holder_mask(std::uint64_t line) {
+  Way* set = set_begin(set_index(line));
+  for (std::uint32_t w = 0; w < assoc_; ++w) {
+    if (set[w].valid && set[w].line == line) return &set[w].holders;
+  }
+  return nullptr;
 }
 
 bool Cache::contains(std::uint64_t line) const {
@@ -107,6 +165,7 @@ bool Cache::contains(std::uint64_t line) const {
 void Cache::clear() {
   std::fill(ways_.begin(), ways_.end(), Way{});
   resident_ = 0;
+  ++generation_;
 }
 
 }  // namespace sbs::sim

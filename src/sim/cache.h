@@ -19,25 +19,67 @@ class Cache {
   Cache(std::uint64_t size_bytes, std::uint32_t line_bytes,
         std::uint32_t assoc);
 
-  /// Probe for a line; on hit, update LRU and (optionally) the dirty bit.
-  bool probe_and_touch(std::uint64_t line, bool mark_dirty);
+  // Per-way sharing flags (see memory_system.h for the protocol). The flag
+  // byte is opaque metadata to the cache: it is stored on fill, reported on
+  // probe, and dies with the way.
+  static constexpr std::uint8_t kFlagSockShared = 1u << 0;
+  static constexpr std::uint8_t kFlagCrossShared = 1u << 1;
+  static constexpr std::uint8_t kFlagCrossUnknown = 1u << 2;
+
+  /// Probe for a line; on hit, update LRU and (optionally) the dirty bit,
+  /// and report the way's sharing flags / holder mask if requested.
+  bool probe_and_touch(std::uint64_t line, bool mark_dirty,
+                       std::uint8_t* flags = nullptr,
+                       std::uint16_t* holders = nullptr);
 
   struct Evicted {
     bool valid = false;
     std::uint64_t line = 0;
     bool dirty = false;
+    std::uint16_t holders = 0;  ///< the victim way's holder mask
   };
   /// Insert a line at MRU (caller guarantees it is absent). Returns the
   /// evicted victim, if the set was full.
-  Evicted fill(std::uint64_t line, bool dirty);
+  Evicted fill(std::uint64_t line, bool dirty, std::uint8_t flags = 0);
 
   /// Combined probe+fill in one set scan: if present, touch LRU/dirty and
   /// return false; otherwise insert and return true (victim in *evicted).
-  bool fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted);
+  bool fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted,
+                      std::uint8_t flags = 0);
 
-  /// Remove a line if present; reports whether it was dirty.
-  /// Returns true when the line was found.
-  bool invalidate(std::uint64_t line, bool* was_dirty);
+  /// Overwrite a resident line's sharing flags (no LRU touch). Returns
+  /// false if the line is absent.
+  bool set_flags(std::uint64_t line, std::uint8_t flags);
+  /// OR `bits` into a resident line's flags (kFlagCrossShared clears
+  /// kFlagCrossUnknown), reporting the flags *before* the merge; no LRU
+  /// touch. Returns the way's holder mask, or -1 if the line is absent.
+  int mark_shared(std::uint64_t line, std::uint8_t bits,
+                  std::uint8_t* old_flags = nullptr);
+
+  /// Remove a line if present; reports whether it was dirty and (optionally)
+  /// its holder mask. Returns true when the line was found.
+  bool invalidate(std::uint64_t line, bool* was_dirty,
+                  std::uint16_t* holders = nullptr);
+
+  // --- in-cache holder directory ---
+  // Each way carries a bitmask over the cache's *children* in the simulated
+  // hierarchy: bit b set means child b may hold the line (a conservative
+  // superset — bits are set on child fills and cleared lazily when a sweep
+  // verifies absence, so capacity evictions in a child leave a stale bit
+  // behind until the next sweep). Coherence sweeps use it to probe only
+  // plausible holders instead of every child. Fits in the Way's padding, so
+  // it costs no memory; caches whose children are hardware threads simply
+  // never have bits set. Neither call moves the LRU order or bumps the
+  // generation — they are directory metadata, not accesses.
+
+  /// Mark child `bit` as holding `line`. The line must be resident (the
+  /// hierarchy is inclusive: a child fill implies the parent holds it).
+  /// Returns the mask *before* the bit was set, so callers can detect a new
+  /// holder joining existing ones (sharing arising).
+  std::uint16_t set_holder_bit(std::uint64_t line, std::uint32_t bit);
+  /// The holder mask of a resident line, or nullptr if absent. The pointer
+  /// stays valid until the next fill/probe/invalidate touching this cache.
+  std::uint16_t* holder_mask(std::uint64_t line);
 
   bool contains(std::uint64_t line) const;
 
@@ -48,6 +90,12 @@ class Cache {
   /// Lines currently resident (for tests / occupancy introspection).
   std::uint64_t resident_lines() const { return resident_; }
 
+  /// Bumped on every fill, invalidation, and clear() — i.e. whenever a
+  /// line's residency (not just its LRU position) may have changed. An
+  /// unchanged generation proves any previously observed residency still
+  /// holds (tests and occupancy probes).
+  std::uint64_t generation() const { return generation_; }
+
   void clear();
 
  private:
@@ -55,6 +103,9 @@ class Cache {
     std::uint64_t line = 0;
     bool valid = false;
     bool dirty = false;
+    std::uint16_t holders = 0;  ///< child holder mask (see above); lives in
+                                ///< what would otherwise be padding
+    std::uint8_t flags = 0;     ///< sharing flags (kFlag*); also padding
   };
 
   std::uint64_t set_index(std::uint64_t line) const {
@@ -76,6 +127,7 @@ class Cache {
   std::uint32_t assoc_;
   std::uint64_t num_sets_;
   std::uint64_t resident_ = 0;
+  std::uint64_t generation_ = 0;
   std::vector<Way> ways_;  ///< num_sets_ * assoc_, each set in LRU order
 };
 

@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <functional>
 #include <limits>
 #include <optional>
 
@@ -36,6 +38,9 @@ struct SimEngine::VCore final : mem::AccessSink {
   void maybe_yield() {
     if (clock > engine->horizon_) Fiber::yield();
   }
+  // Mid-strand mem::Array allocations draw from this core's transient arena
+  // stream, so their simulated addresses are deterministic (see mem.h).
+  int stream_id() const override { return tid; }
 
   void ensure_fiber(std::size_t stack_bytes) {
     if (fiber) return;
@@ -54,6 +59,7 @@ struct SimEngine::VCore final : mem::AccessSink {
 
   SimEngine* engine;
   int tid;
+  int shard = 0;
   std::uint64_t clock = 0;
 
   std::unique_ptr<Fiber> fiber;
@@ -61,6 +67,7 @@ struct SimEngine::VCore final : mem::AccessSink {
   std::optional<Strand> strand;
   bool strand_done = false;
   bool busy = false;  ///< strand in progress (possibly suspended)
+  bool pending_finish = false;  ///< strand done, done/settle/add not yet run
   std::uint64_t strand_start_clock = 0;  ///< for the kStrand trace event
 
   // Cycle breakdown (converted to seconds at the end).
@@ -76,12 +83,32 @@ SimEngine::SimEngine(const machine::Topology& topo, SimParams params)
       params_.num_threads < 0 ? topo.num_threads() : params_.num_threads;
   SBS_CHECK(num_threads_ >= 1 && num_threads_ <= topo.num_threads());
   memory_ = std::make_unique<MemorySystem>(topo, params_.memory);
+
+  host_threads_ = std::max(1, params_.host_threads);
+  host_threads_ = std::min(host_threads_, memory_->num_shards());
+  shard_busy_.resize(static_cast<std::size_t>(memory_->num_shards()));
+  arenas_.reserve(static_cast<std::size_t>(host_threads_));
+  for (int h = 0; h < host_threads_; ++h)
+    arenas_.push_back(std::make_unique<runtime::JobArena>());
+
   cores_.reserve(static_cast<std::size_t>(num_threads_));
-  for (int t = 0; t < num_threads_; ++t)
+  for (int t = 0; t < num_threads_; ++t) {
     cores_.push_back(std::make_unique<VCore>(this, t));
+    cores_.back()->shard = memory_->shard_of_thread(t);
+  }
+
+  pool_.reserve(static_cast<std::size_t>(host_threads_ - 1));
+  for (int h = 1; h < host_threads_; ++h)
+    pool_.emplace_back([this, h] { worker_loop(h); });
 }
 
 SimEngine::~SimEngine() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_stop_ = true;
+  }
+  pool_go_.notify_all();
+  for (std::thread& t : pool_) t.join();
   for (auto& core : cores_) {
     if (core->fiber) core->fiber->abandon();
   }
@@ -95,6 +122,51 @@ void SimEngine::enable_tracing(std::size_t events_per_worker) {
 std::uint64_t SimEngine::charge_ops(std::uint64_t ops_before) const {
   return (sched::ops_snapshot() - ops_before) *
          topo_.config().sched_op_cycles;
+}
+
+void SimEngine::heap_push(std::uint64_t clock, int tid) {
+  heap_.emplace_back(clock, tid);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 std::greater<std::pair<std::uint64_t, int>>());
+}
+
+bool SimEngine::heap_pop(std::uint64_t* clock, int* tid) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(),
+                std::greater<std::pair<std::uint64_t, int>>());
+  *clock = heap_.back().first;
+  *tid = heap_.back().second;
+  heap_.pop_back();
+  return true;
+}
+
+void SimEngine::worker_pass(int h) {
+  runtime::JobArena::Scope arena_scope(arenas_[static_cast<std::size_t>(h)].get());
+  const int n_shards = static_cast<int>(shard_busy_.size());
+  for (int s = h; s < n_shards; s += host_threads_) {
+    for (VCore* core : shard_busy_[static_cast<std::size_t>(s)]) {
+      mem::SinkScope sink(core);
+      while (!core->strand_done && core->clock <= horizon_)
+        core->fiber->resume();
+    }
+  }
+}
+
+void SimEngine::worker_loop(int h) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_go_.wait(lk, [&] { return pool_stop_ || pool_gen_ != seen; });
+      if (pool_stop_) return;
+      seen = pool_gen_;
+    }
+    worker_pass(h);
+    {
+      std::lock_guard<std::mutex> lk(pool_mu_);
+      if (--pool_pending_ == 0) pool_done_.notify_one();
+    }
+  }
 }
 
 void SimEngine::finish_strand(VCore& core) {
@@ -145,6 +217,8 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
   sched_ = &sched;
   root_completed_ = false;
   memory_->reset();
+  memory_->set_windowed(true);
+  mem::arena::reset_transient();
   for (auto& core : cores_) {
     SBS_CHECK_MSG(!core->busy, "engine reused while a strand was live");
     core->clock = 0;
@@ -152,8 +226,9 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
         core->empty_cy = 0;
     core->strands = 0;
     core->empty_wakeups = 0;
+    core->pending_finish = false;
   }
-  runtime::JobArena::Scope arena_scope(&arena_);
+  runtime::JobArena::Scope arena_scope(arenas_[0].get());
 
   sched.start(topo_, num_threads_);
   StrandOps::Root root = StrandOps::make_root(root_job);
@@ -175,27 +250,47 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
     c0.clock += cy;
   }
 
+  heap_.clear();
+  for (int t = 0; t < num_threads_; ++t)
+    heap_.emplace_back(cores_[static_cast<std::size_t>(t)]->clock, t);
+  std::make_heap(heap_.begin(), heap_.end(),
+                 std::greater<std::pair<std::uint64_t, int>>());
+
+  const auto by_clock_tid = [](const VCore* a, const VCore* b) {
+    return a->clock < b->clock || (a->clock == b->clock && a->tid < b->tid);
+  };
+
   std::uint64_t completion_clock = 0;
   std::uint64_t consecutive_empty = 0;
   while (!root_completed_) {
-    // Pick the core with the smallest clock; horizon = second-smallest
-    // clock + quantum bounds how far its strand may run ahead.
-    VCore* next = nullptr;
-    std::uint64_t second = std::numeric_limits<std::uint64_t>::max();
-    for (auto& core : cores_) {
-      if (next == nullptr || core->clock < next->clock) {
-        if (next != nullptr) second = std::min(second, next->clock);
-        next = core.get();
-      } else {
-        second = std::min(second, core->clock);
-      }
-    }
-    horizon_ = second == std::numeric_limits<std::uint64_t>::max()
-                   ? second
-                   : second + params_.skew_quantum;
+    // Window = [min clock, min clock + quantum] over every core.
+    busy_min_ = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& list : shard_busy_)
+      for (const VCore* c : list) busy_min_ = std::min(busy_min_, c->clock);
+    std::uint64_t min_clock = busy_min_;
+    if (!heap_.empty()) min_clock = std::min(min_clock, heap_.front().first);
+    SBS_CHECK_MSG(min_clock != std::numeric_limits<std::uint64_t>::max(),
+                  "no runnable cores, root not complete");
+    horizon_ = min_clock + params_.skew_quantum;
 
-    VCore& core = *next;
-    if (!core.busy) {
+    // Pump: idle gets and deferred strand completions, in (clock, thread)
+    // order — all scheduler interaction is single-threaded here.
+    std::uint64_t clk = 0;
+    int tid = 0;
+    while (!heap_.empty() && heap_.front().first <= horizon_) {
+      heap_pop(&clk, &tid);
+      VCore& core = *cores_[static_cast<std::size_t>(tid)];
+      if (core.pending_finish) {
+        core.pending_finish = false;
+        finish_strand(core);
+        if (root_completed_) {
+          completion_clock = core.clock;
+          break;
+        }
+        heap_push(core.clock, tid);
+        continue;
+      }
+
       if (rec) {
         rec->set_now(core.tid, core.clock);
         rec->record(core.tid, EventKind::kGetBegin, core.clock);
@@ -208,14 +303,14 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
                     job != nullptr ? 1 : 0);
       }
       if (job == nullptr) {
-        // Idle: nothing can be enqueued before the next core acts at the
-        // second-smallest clock, so jump there directly (but always advance
-        // by at least one poll interval). Pure wait-time accounting —
-        // no schedulable event is skipped.
-        const std::uint64_t second =
-            horizon_ == std::numeric_limits<std::uint64_t>::max()
-                ? 0
-                : horizon_ - params_.skew_quantum;
+        // Idle: nothing can be enqueued before the next core acts, so jump
+        // to the earliest other event (but always advance by at least one
+        // poll interval). Pure wait-time accounting — no schedulable event
+        // is skipped.
+        std::uint64_t second = busy_min_;
+        if (!heap_.empty())
+          second = std::min(second, heap_.front().first);
+        if (second == std::numeric_limits<std::uint64_t>::max()) second = 0;
         const std::uint64_t next = std::max(
             core.clock + cy + topo_.config().idle_poll_cycles, second);
         if (rec) {
@@ -225,8 +320,10 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
         core.empty_cy += next - core.clock;
         core.clock = next;
         ++core.empty_wakeups;
+        heap_push(core.clock, tid);
         SBS_CHECK_MSG(++consecutive_empty <
-                          (1u << 24) * static_cast<unsigned>(num_threads_),
+                          (std::uint64_t{1} << 24) *
+                              static_cast<std::uint64_t>(num_threads_),
                       "simulation wedged: every core idle, no queued work, "
                       "root not complete (scheduler lost a job?)");
         continue;
@@ -240,17 +337,57 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       core.busy = true;
       core.strand_start_clock = core.clock;
       core.ensure_fiber(params_.fiber_stack_bytes);
+      shard_busy_[static_cast<std::size_t>(core.shard)].push_back(&core);
+      busy_min_ = std::min(busy_min_, core.clock);
+    }
+    if (root_completed_) break;
+
+    bool any_busy = false;
+    for (auto& list : shard_busy_) {
+      if (list.empty()) continue;
+      any_busy = true;
+      std::sort(list.begin(), list.end(), by_clock_tid);
+    }
+    if (!any_busy) continue;
+
+    // Window phase: run every busy core to the horizon, shards spread over
+    // the host workers (each shard's cores on exactly one worker).
+    if (host_threads_ > 1) {
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        pool_pending_ = host_threads_ - 1;
+        ++pool_gen_;
+      }
+      pool_go_.notify_all();
+      worker_pass(0);
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      pool_done_.wait(lk, [&] { return pool_pending_ == 0; });
+    } else {
+      worker_pass(0);
     }
 
-    {
-      mem::SinkScope scope(&core);
-      core.fiber->resume();
+    // Barrier: collect finished strands (their done/settle/add runs at the
+    // next pump, in clock order) and merge cross-shard traffic.
+    for (auto& list : shard_busy_) {
+      std::size_t keep = 0;
+      for (VCore* core : list) {
+        if (core->strand_done) {
+          core->pending_finish = true;
+          heap_push(core->clock, core->tid);
+        } else {
+          list[keep++] = core;
+        }
+      }
+      list.resize(keep);
     }
-    if (core.strand_done) {
-      finish_strand(core);
-      if (root_completed_) completion_clock = core.clock;
-    }
+    memory_->merge_window();
   }
+
+  for (const auto& list : shard_busy_)
+    SBS_CHECK_MSG(list.empty(),
+                  "root completed while a strand was still running");
+  memory_->merge_window();
+  memory_->set_windowed(false);
 
   sched.finish();
   delete root.sentinel;

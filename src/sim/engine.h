@@ -2,15 +2,25 @@
 // machine, under an unmodified Scheduler implementation.
 //
 // Every hardware thread of the machine is a virtual core with its own
-// virtual clock. The engine repeatedly advances the core with the smallest
-// clock: an idle core performs a scheduler get() (overhead charged from the
-// instrumented op count); a core with a strand runs it inside the core's
-// fiber — each instrumented memory access walks the simulated cache
-// hierarchy and advances the clock, and the fiber yields whenever its clock
-// runs more than `skew_quantum` cycles past the slowest other core, so
-// concurrent strands interleave in bounded-skew virtual time. Strand
-// completion drives the usual done/settle/add sequence at the core's
-// current virtual time.
+// virtual clock. Execution proceeds in bounded-skew *windows*: each window
+// spans [min clock, min clock + skew_quantum]. A single-threaded pump first
+// drives every idle or just-finished core whose clock falls inside the
+// window, in deterministic (clock, thread) order — scheduler get()/done()/
+// add() calls all happen here, so scheduler implementations stay
+// single-threaded and overheads are charged from the instrumented op count.
+// Then every core with a live strand runs its fiber until its clock leaves
+// the window (or the strand completes): each instrumented memory access
+// walks the simulated cache hierarchy and advances the clock.
+//
+// The window phase is where host parallelism comes in (SimParams::
+// host_threads): cores are grouped by their depth-1 (socket) subtree —
+// the memory system's shards — and each shard's cores execute on one host
+// worker, shards spread round-robin over workers. Within a shard cores run
+// sequentially in (clock, thread) order; across shards all simulated state
+// is disjoint for the duration of the window (memory_system.h), with
+// cross-shard coherence and bandwidth merged at the window barrier in
+// deterministic shard order. Results are therefore bit-identical for every
+// host_threads value, including 1 — the serial path is the same algorithm.
 //
 // Semantics are exact (strand bodies execute real C++ on host memory);
 // timing is the model documented in memory_system.h. Scheduler queue
@@ -20,8 +30,13 @@
 // scheduler bookkeeping perturbs active time is thus out of scope.
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "machine/topology.h"
 #include "runtime/job.h"
@@ -37,11 +52,14 @@ namespace sbs::sim {
 struct SimParams {
   MemoryParams memory;
   /// Maximum virtual-clock lead a running strand may take over the slowest
-  /// other core before being suspended.
+  /// other core before being suspended (the window width).
   std::uint64_t skew_quantum = 10000;
   /// Worker count; -1 = all hardware threads of the machine.
   int num_threads = -1;
   std::size_t fiber_stack_bytes = 512 * 1024;
+  /// Host threads executing window phases; clamped to the machine's socket
+  /// count. Results are identical for every value (see file comment).
+  int host_threads = 1;
 };
 
 struct SimResult {
@@ -67,6 +85,7 @@ class SimEngine {
 
   const machine::Topology& topology() const { return topo_; }
   MemorySystem& memory() { return *memory_; }
+  int host_threads() const { return host_threads_; }
 
   /// Own a trace recorder: subsequent run()s record scheduler lifecycle
   /// events with virtual-cycle timestamps from the per-core clocks. Each
@@ -82,19 +101,40 @@ class SimEngine {
 
   void finish_strand(VCore& core);
   std::uint64_t charge_ops(std::uint64_t ops_before) const;
+  /// Resume every busy core of the shards assigned to host worker `h`
+  /// until their clocks pass horizon_ (one window phase's share).
+  void worker_pass(int h);
+  void worker_loop(int h);
+  void heap_push(std::uint64_t clock, int tid);
+  bool heap_pop(std::uint64_t* clock, int* tid);
 
   const machine::Topology& topo_;
   SimParams params_;
   int num_threads_;
+  int host_threads_ = 1;
   std::unique_ptr<MemorySystem> memory_;
   std::vector<std::unique_ptr<VCore>> cores_;
   std::unique_ptr<trace::Recorder> recorder_;
   runtime::Scheduler* sched_ = nullptr;
-  /// Fork/join allocation arena for the (single-host-threaded) event loop;
-  /// strand bodies run in fibers on the same host thread, so one arena
-  /// serves every virtual core with purely local frees.
-  runtime::JobArena arena_;
-  std::uint64_t horizon_ = 0;  ///< yield threshold for the running fiber
+  /// One fork/join allocation arena per host worker; strand bodies allocate
+  /// on the worker running their shard, the pump's settle() frees remotely.
+  std::vector<std::unique_ptr<runtime::JobArena>> arenas_;
+  std::uint64_t horizon_ = 0;  ///< yield threshold for running fibers
+
+  /// Min-heap of (clock, thread id) over idle and pending-finish cores;
+  /// busy cores live in shard_busy_ instead.
+  std::vector<std::pair<std::uint64_t, int>> heap_;
+  std::vector<std::vector<VCore*>> shard_busy_;  ///< per shard, sorted
+  std::uint64_t busy_min_ = 0;  ///< min busy-core clock this window
+
+  // Window-phase worker pool (host_threads_ - 1 threads + the pump).
+  std::vector<std::thread> pool_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_go_, pool_done_;
+  std::uint64_t pool_gen_ = 0;
+  int pool_pending_ = 0;
+  bool pool_stop_ = false;
+
   bool root_completed_ = false;
 };
 

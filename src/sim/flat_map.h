@@ -82,6 +82,13 @@ class FlatMap {
     slots_[hole] = Slot{};
   }
 
+  /// Issue a host prefetch for the key's home slot (probe chains are short
+  /// at our load factor, so one line covers the common case). Barrier loops
+  /// that batch many lookups use it to pipeline the cold-table misses.
+  void prefetch(std::uint64_t key) const {
+    __builtin_prefetch(&slots_[probe_start(key)]);
+  }
+
   void clear() {
     for (auto& slot : slots_) slot = Slot{};
     size_ = 0;

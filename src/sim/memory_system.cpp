@@ -8,16 +8,15 @@
 namespace sbs::sim {
 
 namespace {
-constexpr int kMaxCacheDepth = 7;  // DirEntry::holders has 8 slots (1..7)
-}
+constexpr int kMaxCacheDepth = 7;  // ThreadInfo path arrays have 8 slots
+constexpr int kMaxShards = 64;     // sharing_ mask is one uint64_t
+}  // namespace
 
 MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
     : topo_(topo), params_(std::move(params)) {
   const machine::MachineConfig& cfg = topo.config();
   SBS_CHECK_MSG(topo.num_cache_levels() <= kMaxCacheDepth,
                 "simulator supports at most 7 cache levels");
-  SBS_CHECK_MSG(topo.num_threads() <= 64,
-                "simulator supports at most 64 hardware threads");
 
   line_bytes_ = cfg.levels.back().line;
   for (const auto& lvl : cfg.levels) {
@@ -29,47 +28,108 @@ MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
   page_lines_shift_ = static_cast<std::uint64_t>(
       std::countr_zero(cfg.page_bytes / line_bytes_));
 
-  // One Cache per cache node (depths 1..L).
-  caches_.resize(static_cast<std::size_t>(topo.num_nodes()));
-  depth_first_id_.assign(static_cast<std::size_t>(topo.leaf_depth()) + 1, -1);
-  for (int id = 0; id < topo.num_nodes(); ++id) {
+  const int leaf_depth = topo.leaf_depth();
+
+  // One Cache per cache node (depths 1..L), plus the per-node precomputation
+  // the hot paths use instead of Topology queries.
+  const int n_nodes = topo.num_nodes();
+  caches_.resize(static_cast<std::size_t>(n_nodes));
+  node_depth_.assign(static_cast<std::size_t>(n_nodes), -1);
+  node_shard_.assign(static_cast<std::size_t>(n_nodes), -1);
+  child_first_.assign(static_cast<std::size_t>(n_nodes), 0);
+  child_count_.assign(static_cast<std::size_t>(n_nodes), 0);
+  node_mask_ok_.assign(static_cast<std::size_t>(n_nodes), 0);
+  inner_first_thread_.assign(static_cast<std::size_t>(n_nodes), -1);
+  inner_thread_count_.assign(static_cast<std::size_t>(n_nodes), 0);
+
+  const std::vector<int> sockets = topo.nodes_at_depth(1);
+  const int n_shards = static_cast<int>(sockets.size());
+  SBS_CHECK_MSG(n_shards >= 1 && n_shards <= kMaxShards,
+                "simulator supports 1..64 sockets");
+  const int first_socket_id = sockets.front();
+  socket_node_.assign(sockets.begin(), sockets.end());
+
+  for (int id = 0; id < n_nodes; ++id) {
     const machine::Node& node = topo.node(id);
-    if (depth_first_id_[static_cast<std::size_t>(node.depth)] < 0)
-      depth_first_id_[static_cast<std::size_t>(node.depth)] = id;
-    if (node.depth >= 1 && node.depth < topo.leaf_depth()) {
+    node_depth_[static_cast<std::size_t>(id)] = node.depth;
+    child_first_[static_cast<std::size_t>(id)] = node.first_child;
+    child_count_[static_cast<std::size_t>(id)] = node.num_children;
+    node_mask_ok_[static_cast<std::size_t>(id)] = node.num_children <= 16;
+    if (node.depth < 1) continue;
+    node_shard_[static_cast<std::size_t>(id)] =
+        topo.ancestor_at_depth(id, 1) - first_socket_id;
+    if (node.depth < leaf_depth) {
       const machine::LevelSpec& lvl = topo.level_of(id);
       caches_[static_cast<std::size_t>(id)] =
           std::make_unique<Cache>(lvl.size, lvl.line, lvl.assoc);
     }
   }
-  for (int d = 1; d < topo.leaf_depth(); ++d) {
-    SBS_CHECK_MSG(topo.nodes_at_depth(d).size() <= 64,
-                  "simulator supports at most 64 caches per level");
-  }
 
-  // Per-thread path, innermost cache first.
-  thread_path_.resize(static_cast<std::size_t>(topo.num_threads()));
-  for (int t = 0; t < topo.num_threads(); ++t) {
-    for (int id = topo.node(topo.leaf_of_thread(t)).parent;
-         topo.node(id).depth >= 1; id = topo.node(id).parent) {
-      thread_path_[static_cast<std::size_t>(t)].push_back(id);
+  // Flattened per-thread paths, innermost cache first.
+  const int n_threads = topo.num_threads();
+  tinfo_.resize(static_cast<std::size_t>(n_threads));
+  memo_.assign(static_cast<std::size_t>(n_threads), Memo{});
+  range_memo_.assign(static_cast<std::size_t>(n_threads), RangeMemo{});
+  last_miss_line_.assign(static_cast<std::size_t>(n_threads),
+                         ~std::uint64_t{0});
+  memo_enabled_ = innermost_depth_ >= 1 && n_threads > 0;
+  for (int t = 0; t < n_threads; ++t) {
+    ThreadInfo& ti = tinfo_[static_cast<std::size_t>(t)];
+    ti.leaf_id = topo.leaf_of_thread(t);
+    ti.inner_depth = innermost_depth_;
+    for (int id = topo.node(ti.leaf_id).parent; topo.node(id).depth >= 1;
+         id = topo.node(id).parent) {
+      const std::size_t i = static_cast<std::size_t>(ti.path_len++);
+      ti.node[i] = id;
+      ti.depth[i] = node_depth_[static_cast<std::size_t>(id)];
+      ti.hit_cycles[i] = topo.level_of(id).hit_cycles;
+      ti.cache[i] = caches_[static_cast<std::size_t>(id)].get();
+    }
+    for (int i = 0; i + 1 < ti.path_len; ++i) {
+      const int parent = ti.node[static_cast<std::size_t>(i + 1)];
+      ti.slot[static_cast<std::size_t>(i)] =
+          node_mask_ok_[static_cast<std::size_t>(parent)]
+              ? static_cast<std::uint8_t>(
+                    ti.node[static_cast<std::size_t>(i)] -
+                    child_first_[static_cast<std::size_t>(parent)])
+              : std::uint8_t{0xFF};
+    }
+    if (ti.path_len > 0) {
+      const int inner = ti.node[0];
+      ti.shard = node_shard_[static_cast<std::size_t>(inner)];
+      // Threads below one innermost cache are contiguous (breadth-first
+      // leaf ids), so a (first, count) pair addresses its memo owners.
+      std::int32_t& first = inner_first_thread_[static_cast<std::size_t>(inner)];
+      if (first < 0) first = t;
+      ++inner_thread_count_[static_cast<std::size_t>(inner)];
+    } else {
+      memo_enabled_ = false;
     }
   }
-  last_miss_line_.assign(static_cast<std::size_t>(topo.num_threads()),
-                         ~std::uint64_t{0});
 
-  const int n_sockets = static_cast<int>(topo.nodes_at_depth(1).size());
-  socket_next_free_.assign(static_cast<std::size_t>(n_sockets), 0);
+  socket_next_free_.assign(static_cast<std::size_t>(n_shards), 0);
   if (params_.allowed_sockets.empty()) {
-    for (int s = 0; s < n_sockets; ++s) params_.allowed_sockets.push_back(s);
+    for (int s = 0; s < n_shards; ++s) params_.allowed_sockets.push_back(s);
   }
   for (int s : params_.allowed_sockets)
-    SBS_CHECK_MSG(s >= 0 && s < n_sockets, "allowed socket out of range");
+    SBS_CHECK_MSG(s >= 0 && s < n_shards, "allowed socket out of range");
   SBS_CHECK(params_.mlp >= 1.0);
 
   transfer_cycles_ =
       static_cast<double>(line_bytes_) / cfg.socket_bytes_per_cycle;
-  counters_.level.resize(static_cast<std::size_t>(topo.leaf_depth()));
+  isolated_miss_cycles_ = static_cast<std::uint64_t>(
+      static_cast<double>(cfg.dram_latency_cycles) / params_.mlp);
+  counters_.level.resize(static_cast<std::size_t>(leaf_depth));
+
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->ctr = &counters_;
+    sh->links = socket_next_free_.data();
+    sh->link_view.assign(static_cast<std::size_t>(n_shards), 0);
+    sh->link_used.assign(static_cast<std::size_t>(n_shards), 0);
+    shards_.push_back(std::move(sh));
+  }
 }
 
 int MemorySystem::home_socket(std::uint64_t line) const {
@@ -77,72 +137,264 @@ int MemorySystem::home_socket(std::uint64_t line) const {
   return params_.allowed_sockets[page % params_.allowed_sockets.size()];
 }
 
-void MemorySystem::dir_set(std::uint64_t line, int depth, int ordinal) {
-  directory_[line].holders[static_cast<std::size_t>(depth)] |=
-      1ull << ordinal;
+namespace {
+/// Remove `line` from the run [*lo, *hi), keeping the larger remnant.
+inline void shrink_range(std::uint64_t line, std::uint64_t* lo,
+                         std::uint64_t* hi) {
+  if (line < *lo || line >= *hi) return;
+  if (line - *lo < *hi - 1 - line) {
+    *lo = line + 1;
+  } else {
+    *hi = line;
+  }
+}
+}  // namespace
+
+void MemorySystem::extend_streak(RangeMemo& rm, std::uint64_t line,
+                                 bool write) {
+  const std::uint8_t w = write ? 1 : 0;
+  if (line == rm.cand_hi && w == rm.cand_wrote && rm.cand_lo != rm.cand_hi) {
+    ++rm.cand_hi;
+  } else {
+    rm.cand_lo = line;
+    rm.cand_hi = line + 1;
+    rm.cand_wrote = w;
+  }
+  // `>=` (not `>`) so a same-length re-sweep that upgrades read→write can
+  // displace the clean run with a known-dirty one.
+  if (rm.cand_hi - rm.cand_lo >= kRangePromoteLen &&
+      rm.cand_hi - rm.cand_lo >= rm.hi - rm.lo) {
+    rm.lo = rm.cand_lo;
+    rm.hi = rm.cand_hi;
+    rm.wrote = rm.cand_wrote;
+  }
 }
 
-void MemorySystem::dir_clear(std::uint64_t line, int depth, int ordinal) {
-  DirEntry* entry = directory_.find(line);
-  if (entry == nullptr) return;
-  entry->holders[static_cast<std::size_t>(depth)] &= ~(1ull << ordinal);
-  for (std::uint64_t mask : entry->holders) {
-    if (mask != 0) return;
+void MemorySystem::memo_drop(int inner_node, std::uint64_t line) {
+  const int first = inner_first_thread_[static_cast<std::size_t>(inner_node)];
+  const int cnt = inner_thread_count_[static_cast<std::size_t>(inner_node)];
+  const std::size_t slot = line & (kMemoSlots - 1);
+  for (int t = first; t < first + cnt; ++t) {
+    Memo& memo = memo_[static_cast<std::size_t>(t)];
+    if ((memo.entry[slot] >> 1) == line) {
+      memo.entry[slot] = ~std::uint64_t{0};
+    }
+    RangeMemo& rm = range_memo_[static_cast<std::size_t>(t)];
+    shrink_range(line, &rm.lo, &rm.hi);
+    shrink_range(line, &rm.cand_lo, &rm.cand_hi);
   }
-  directory_.erase(line);
+}
+
+void MemorySystem::share_children(int node_id, std::uint32_t mask,
+                                  std::uint64_t line, std::uint8_t bits,
+                                  std::uint8_t stop_bits) {
+  const int first = child_first_[static_cast<std::size_t>(node_id)];
+  const int cnt = child_count_[static_cast<std::size_t>(node_id)];
+  if (cnt == 0 || caches_[static_cast<std::size_t>(first)] == nullptr)
+    return;  // children are hardware-thread leaves
+  const auto visit = [&](int c) {
+    std::uint8_t old = 0;
+    const int holders =
+        caches_[static_cast<std::size_t>(c)]->mark_shared(line, bits, &old);
+    if (holders < 0) return;           // stale holder bit
+    if ((old & stop_bits) != 0) return;  // see share_socket
+    if (node_depth_[static_cast<std::size_t>(c)] != innermost_depth_) {
+      share_children(c, static_cast<std::uint32_t>(holders), line, bits,
+                     stop_bits);
+    }
+  };
+  if (node_mask_ok_[static_cast<std::size_t>(node_id)]) {
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      visit(first + std::countr_zero(m));
+    }
+  } else {
+    for (int c = first; c < first + cnt; ++c) visit(c);
+  }
+}
+
+void MemorySystem::share_socket(int shard, std::uint64_t line,
+                                std::uint8_t bits, std::uint8_t stop_bits) {
+  // `stop_bits`: if the visited way already carries any of these, its whole
+  // subtree does too, so descent stops. Cross marking passes
+  // CrossShared|CrossUnknown — sound because cross bits are *sticky* (fills
+  // inherit them and writes never clear them), so a non-exclusive root can
+  // never hide an exclusive descendant. Sock marking passes 0 (full
+  // descent): a write resets only the writer's innermost way, so a stale
+  // sock-shared ancestor can sit above a sock-exclusive leaf.
+  const int socket = socket_node_[static_cast<std::size_t>(shard)];
+  std::uint8_t old = 0;
+  const int holders =
+      caches_[static_cast<std::size_t>(socket)]->mark_shared(line, bits, &old);
+  if (holders < 0) return;   // already evicted (directory bit lags a window)
+  if ((old & stop_bits) != 0) return;
+  if (innermost_depth_ != 1) {
+    share_children(socket, static_cast<std::uint32_t>(holders), line, bits,
+                   stop_bits);
+  }
+}
+
+std::uint8_t MemorySystem::outer_fill_flags(Shard& sh, int shard,
+                                            std::uint64_t line) {
+  if (shards_.size() == 1) return 0;  // one socket: nothing is ever cross
+  if (windowed_) {
+    // The directory is read-only during a window; start unknown and let the
+    // barrier resolve it (a later write posts an outbox event regardless).
+    sh.sd_delta.push_back(SdDelta{line, shard, true});
+    return Cache::kFlagCrossUnknown;
+  }
+  std::uint64_t& mask = sharing_[line];
+  const std::uint64_t others = mask & ~(1ull << shard);
+  mask |= 1ull << shard;
+  if (others == 0) return 0;
+  // We join existing holders: their copies — possibly marked exclusive —
+  // are now shared, and so are ours.
+  for (std::uint64_t m = others; m != 0; m &= m - 1) {
+    share_socket(std::countr_zero(m), line, Cache::kFlagCrossShared,
+                 Cache::kFlagCrossShared | Cache::kFlagCrossUnknown);
+  }
+  return Cache::kFlagCrossShared;
+}
+
+void MemorySystem::note_outer_evict(Shard& sh, int shard,
+                                    std::uint64_t line) {
+  if (shards_.size() == 1) return;
+  if (windowed_) {
+    sh.sd_delta.push_back(SdDelta{line, shard, false});
+  } else {
+    std::uint64_t* mask = sharing_.find(line);
+    if (mask != nullptr) {
+      *mask &= ~(1ull << shard);
+      if (*mask == 0) sharing_.erase(line);
+    }
+  }
 }
 
 std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
                                    bool write, std::uint64_t now) {
   const std::uint64_t line = addr >> line_shift_;
-  const auto& path = thread_path_[static_cast<std::size_t>(thread_id)];
-  ++counters_.accesses;
-  if (write) ++counters_.writes;
+  ThreadInfo& ti = tinfo_[static_cast<std::size_t>(thread_id)];
+  Shard& sh = *shards_[static_cast<std::size_t>(ti.shard)];
+  Counters& ctr = *sh.ctr;
+  ++ctr.accesses;
+  if (write) ++ctr.writes;
+
+  // Fast path: repeat access to a recently-touched line — no set scan, no
+  // coherence work. The memos are precise (see memo_drop), so a match
+  // proves residency; the range memo covers re-swept buffers, the per-line
+  // ways cover interleaved read/write streams.
+  if (memo_enabled_) {
+    // The direct-mapped slot is checked first: on the sort kernels it
+    // absorbs the overwhelming majority of accesses (every element touch
+    // after the first on a line), while whole-buffer range hits are rare.
+    RangeMemo& rm = range_memo_[static_cast<std::size_t>(thread_id)];
+    const std::size_t slot = line & (kMemoSlots - 1);
+    const std::uint64_t e = memo_[static_cast<std::size_t>(thread_id)]
+                                .entry[slot];
+    if ((e >> 1) == line && (!write || (e & 1) != 0)) {
+      // A memo hit still proves residency, so let it feed the stream
+      // detector — otherwise recently-touched lines punch holes in the
+      // streak and starve range promotion.
+      extend_streak(rm, line, write);
+      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
+      return ti.hit_cycles[0];
+    }
+    if (line >= rm.lo && line < rm.hi && (!write || rm.wrote != 0)) {
+      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
+      return ti.hit_cycles[0];
+    }
+  }
 
   // Probe inside-out. Dirtiness is tracked at the innermost level holding
   // the line and propagates outward on eviction.
-  for (std::size_t i = 0; i < path.size(); ++i) {
-    const int node_id = path[i];
-    const int depth = topo_.node(node_id).depth;
-    Cache& cache = *caches_[static_cast<std::size_t>(node_id)];
-    const bool innermost = (i == 0);
-    if (cache.probe_and_touch(line, write && innermost)) {
-      ++counters_.level[static_cast<std::size_t>(depth)].hits;
-      // Fill the inner levels we missed in (inclusive hierarchy).
-      if (i > 0) fill_path(thread_id, line, write, depth + 1, now);
-      if (write) write_invalidate(thread_id, line);
-      return topo_.level_of(node_id).hit_cycles;
+  std::uint64_t cost = 0;
+  int hit = -1;
+  std::uint8_t hflags = 0;
+  std::uint16_t hholders = 0;
+  for (int i = 0; i < ti.path_len; ++i) {
+    if (ti.cache[static_cast<std::size_t>(i)]->probe_and_touch(
+            line, write && i == 0, &hflags, &hholders)) {
+      hit = i;
+      break;
     }
-    ++counters_.level[static_cast<std::size_t>(depth)].misses;
+    ++ctr
+          .level[static_cast<std::size_t>(
+              ti.depth[static_cast<std::size_t>(i)])]
+          .misses;
   }
 
-  // Miss everywhere: fetch from the home socket's memory link.
-  const int home = home_socket(line);
-  const int my_socket =
-      topo_.socket_of_thread(thread_id) - depth_first_id_[1];
-  std::uint64_t& next_free =
-      socket_next_free_[static_cast<std::size_t>(home)];
-  const std::uint64_t wait = next_free > now ? next_free - now : 0;
-  next_free = std::max(next_free, now) +
-              static_cast<std::uint64_t>(transfer_cycles_);
-  counters_.queue_wait_cycles += wait;
-  ++counters_.dram_reads;
+  std::uint8_t flags = 0;
+  if (hit >= 0) {
+    ++ctr
+          .level[static_cast<std::size_t>(
+              ti.depth[static_cast<std::size_t>(hit)])]
+          .hits;
+    if (hit > 0) {
+      // Fill the inner levels we missed in (inclusive hierarchy). The new
+      // ways' flags derive from the hit way: they inherit its cross state,
+      // and are sock-shared if it is, or if other branches hang off it (the
+      // untrackable-mask fallback is conservatively shared).
+      const std::uint8_t myslot = ti.slot[static_cast<std::size_t>(hit - 1)];
+      const bool sock =
+          (hflags & Cache::kFlagSockShared) != 0 || myslot == 0xFF ||
+          (hholders & ~(1u << myslot)) != 0;
+      flags = static_cast<std::uint8_t>(
+          (hflags & (Cache::kFlagCrossShared | Cache::kFlagCrossUnknown)) |
+          (sock ? Cache::kFlagSockShared : 0));
+      flags = fill_path(ti, sh, line, write, hit - 1, now, flags);
+    } else {
+      flags = hflags;
+    }
+    cost = ti.hit_cycles[static_cast<std::size_t>(hit)];
+  } else {
+    // Miss everywhere: fetch from the home socket's memory link.
+    const int home = home_socket(line);
+    std::uint64_t& next_free = sh.links[static_cast<std::size_t>(home)];
+    const std::uint64_t wait = next_free > now ? next_free - now : 0;
+    next_free = std::max(next_free, now) +
+                static_cast<std::uint64_t>(transfer_cycles_);
+    sh.link_used[static_cast<std::size_t>(home)] +=
+        static_cast<std::uint64_t>(transfer_cycles_);
+    ctr.queue_wait_cycles += wait;
+    ++ctr.dram_reads;
 
-  std::uint64_t latency = 0;
-  std::uint64_t& last = last_miss_line_[static_cast<std::size_t>(thread_id)];
-  if (line != last + 1) {  // not a prefetchable streak
-    latency = static_cast<std::uint64_t>(
-        static_cast<double>(topo_.config().dram_latency_cycles) / params_.mlp);
-  }
-  last = line;
-  if (home != my_socket) {
-    latency += params_.remote_penalty_cycles;
-    ++counters_.remote_dram_accesses;
+    std::uint64_t latency = 0;
+    std::uint64_t& last = last_miss_line_[static_cast<std::size_t>(thread_id)];
+    if (line != last + 1) {  // not a prefetchable streak
+      latency = isolated_miss_cycles_;
+    }
+    last = line;
+    if (home != ti.shard) {
+      latency += params_.remote_penalty_cycles;
+      ++ctr.remote_dram_accesses;
+    }
+
+    flags = fill_path(ti, sh, line, write, ti.path_len - 1, now, 0);
+    cost = wait + static_cast<std::uint64_t>(transfer_cycles_) + latency;
   }
 
-  fill_path(thread_id, line, write, /*from_depth=*/1, now);
-  if (write) write_invalidate(thread_id, line);
-  return wait + static_cast<std::uint64_t>(transfer_cycles_) + latency;
+  if (write && flags != 0) {
+    // Some copy may live outside our path: sweep, then clear the innermost
+    // way's sock bit (the sweep verified the socket is ours alone). Cross
+    // bits stay — they are sticky by design (see share_socket), and repeat
+    // writes are memo-absorbed anyway.
+    write_invalidate(ti, sh, line, flags);
+    ti.cache[0]->set_flags(
+        line, flags & (Cache::kFlagCrossShared | Cache::kFlagCrossUnknown));
+  }
+
+  if (memo_enabled_) {
+    // Insert (or refresh) the direct-mapped slot; a write-after-read
+    // upgrade keeps the old dirty knowledge via the OR.
+    std::uint64_t& e =
+        memo_[static_cast<std::size_t>(thread_id)]
+            .entry[line & (kMemoSlots - 1)];
+    const std::uint64_t w =
+        (write ? 1u : 0u) | ((e >> 1) == line ? (e & 1) : 0u);
+    e = (line << 1) | w;
+    extend_streak(range_memo_[static_cast<std::size_t>(thread_id)], line,
+                  write);
+  }
+  return cost;
 }
 
 std::uint64_t MemorySystem::access_range(int thread_id, std::uint64_t addr,
@@ -151,6 +403,20 @@ std::uint64_t MemorySystem::access_range(int thread_id, std::uint64_t addr,
   if (bytes == 0) return 0;
   const std::uint64_t first = addr >> line_shift_;
   const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  if (memo_enabled_) {
+    // Whole-range absorb: a re-sweep of a buffer the range memo proves
+    // innermost-resident is one compare and a bulk counter update.
+    const RangeMemo& rm = range_memo_[static_cast<std::size_t>(thread_id)];
+    if (first >= rm.lo && last < rm.hi && (!write || rm.wrote != 0)) {
+      const ThreadInfo& ti = tinfo_[static_cast<std::size_t>(thread_id)];
+      Counters& ctr = *shards_[static_cast<std::size_t>(ti.shard)]->ctr;
+      const std::uint64_t n = last - first + 1;
+      ctr.accesses += n;
+      if (write) ctr.writes += n;
+      ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits += n;
+      return n * ti.hit_cycles[0];
+    }
+  }
   std::uint64_t cost = 0;
   for (std::uint64_t line = first; line <= last; ++line) {
     cost += access(thread_id, line << line_shift_, write, now + cost);
@@ -158,112 +424,120 @@ std::uint64_t MemorySystem::access_range(int thread_id, std::uint64_t addr,
   return cost;
 }
 
-void MemorySystem::fill_path(int thread_id, std::uint64_t line, bool write,
-                             int from_depth, std::uint64_t now) {
-  const auto& path = thread_path_[static_cast<std::size_t>(thread_id)];
-  // Fill outermost-first so inclusion always holds. Directory bits for the
-  // filled line are batched into one table operation at the end (eviction
-  // handling erases other entries, which may relocate slots).
-  std::uint64_t set_bits[8] = {};
-  bool any_bits = false;
-  for (std::size_t i = path.size(); i-- > 0;) {
-    const int node_id = path[i];
-    const int depth = topo_.node(node_id).depth;
-    if (depth < from_depth) continue;
-    Cache& cache = *caches_[static_cast<std::size_t>(node_id)];
-    const bool innermost = (i == 0);
-    Cache::Evicted evicted;
-    if (!cache.fill_if_absent(line, write && innermost, &evicted)) {
-      continue;  // already present (possible when from_depth > 1)
+std::uint8_t MemorySystem::fill_path(const ThreadInfo& ti, Shard& sh,
+                                     std::uint64_t line, bool write,
+                                     int from_index, std::uint64_t now,
+                                     std::uint8_t flags) {
+  // Fill outermost-first so inclusion always holds. Every level in
+  // [0, from_index] was probed and missed by the caller, and handling an
+  // eviction at an outer level never inserts this line anywhere, so the
+  // unchecked fill (no probe scan) is safe.
+  for (int i = from_index; i >= 0; --i) {
+    if (ti.depth[static_cast<std::size_t>(i)] == 1) {
+      // DRAM fill of the outermost level: by inclusion nothing in this
+      // socket holds the line (we would have hit), so sock-exclusive; the
+      // cross state comes from the sharing directory.
+      flags = outer_fill_flags(sh, ti.shard, line);
     }
-    if (tracked(depth)) {
-      set_bits[depth] |= 1ull << (node_id -
-                                  depth_first_id_[static_cast<std::size_t>(depth)]);
-      any_bits = true;
-    }
-    if (evicted.valid) handle_eviction(node_id, evicted, now);
-  }
-  if (any_bits) {
-    DirEntry& entry = directory_[line];
-    for (int d = 0; d < 8; ++d)
-      entry.holders[static_cast<std::size_t>(d)] |= set_bits[d];
-  }
-}
-
-void MemorySystem::invalidate_innermost_below(int parent_id,
-                                              std::uint64_t line,
-                                              int spare_node, bool* dirty,
-                                              bool coherence) {
-  const machine::Node& parent = topo_.node(parent_id);
-  for (int c = parent.first_child; c < parent.first_child + parent.num_children;
-       ++c) {
-    if (c == spare_node) continue;
-    bool inner_dirty = false;
-    if (caches_[static_cast<std::size_t>(c)]->invalidate(line, &inner_dirty)) {
-      *dirty = *dirty || inner_dirty;
-      LevelCounters& lc =
-          counters_.level[static_cast<std::size_t>(innermost_depth_)];
-      if (coherence) {
-        ++lc.coherence_invalidations;
-      } else {
-        ++lc.back_invalidations;
-      }
-    }
-  }
-}
-
-void MemorySystem::handle_eviction(int node_id, const Cache::Evicted& evicted,
-                                   std::uint64_t now) {
-  const int depth = topo_.node(node_id).depth;
-  ++counters_.level[static_cast<std::size_t>(depth)].evictions;
-
-  bool dirty = evicted.dirty;
-  if (tracked(depth)) {
-    dir_clear(evicted.line, depth,
-              node_id - depth_first_id_[static_cast<std::size_t>(depth)]);
-
-    // Inclusive hierarchy: evicting here back-invalidates every descendant
-    // cache holding the line; a dirty inner copy dirties the outgoing line.
-    DirEntry* entry = directory_.find(evicted.line);
-    if (entry != nullptr) {
-      for (int d = depth + 1; tracked(d); ++d) {
-        std::uint64_t mask = entry->holders[static_cast<std::size_t>(d)];
-        while (mask != 0) {
-          const int ord = std::countr_zero(mask);
-          mask &= mask - 1;
-          const int holder =
-              depth_first_id_[static_cast<std::size_t>(d)] + ord;
-          if (topo_.ancestor_at_depth(holder, depth) != node_id) continue;
-          bool inner_dirty = false;
-          if (caches_[static_cast<std::size_t>(holder)]->invalidate(
-                  evicted.line, &inner_dirty)) {
-            dirty = dirty || inner_dirty;
-            ++counters_.level[static_cast<std::size_t>(d)].back_invalidations;
-            dir_clear(evicted.line, d, ord);
-          }
-          // The untracked innermost copies live under this holder.
-          if (d + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
-            invalidate_innermost_below(holder, evicted.line, -1, &dirty);
-          }
+    const Cache::Evicted evicted =
+        ti.cache[static_cast<std::size_t>(i)]->fill(line, write && i == 0,
+                                                    flags);
+    if (evicted.valid)
+      handle_eviction(sh, ti.node[static_cast<std::size_t>(i)], evicted, now);
+    // Flag this branch in the parent's holder mask (the parent holds the
+    // line — it sits above us on the just-filled path).
+    if (i + 1 < ti.path_len && ti.slot[static_cast<std::size_t>(i)] != 0xFF) {
+      const std::uint16_t old =
+          ti.cache[static_cast<std::size_t>(i + 1)]->set_holder_bit(
+              line, ti.slot[static_cast<std::size_t>(i)]);
+      // Joining existing holders at the hit boundary makes them shared.
+      // (Deeper parents are fresh fills whose only holder is us, and a
+      // write is about to sweep those siblings out anyway.)
+      if (i == from_index && !write) {
+        const std::uint16_t others = static_cast<std::uint16_t>(
+            old & ~(1u << ti.slot[static_cast<std::size_t>(i)]));
+        if (others != 0) {
+          share_children(ti.node[static_cast<std::size_t>(i + 1)], others,
+                         line, Cache::kFlagSockShared, /*stop_bits=*/0);
         }
       }
+    } else if (i + 1 < ti.path_len && i == from_index && !write) {
+      // Untrackable parent mask: mark every sibling subtree conservatively.
+      share_children(ti.node[static_cast<std::size_t>(i + 1)], 0xFFFF, line,
+                     Cache::kFlagSockShared, /*stop_bits=*/0);
     }
-    // Direct parent of the innermost level: probe our own children.
-    if (depth + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
-      invalidate_innermost_below(node_id, evicted.line, -1, &dirty);
+  }
+  return flags;
+}
+
+void MemorySystem::invalidate_children(int node_id, std::uint32_t mask,
+                                       std::uint64_t line, bool* dirty,
+                                       Counters& ctr, bool coherence) {
+  const int first = child_first_[static_cast<std::size_t>(node_id)];
+  const int cnt = child_count_[static_cast<std::size_t>(node_id)];
+  if (cnt == 0 || caches_[static_cast<std::size_t>(first)] == nullptr)
+    return;  // children are hardware-thread leaves
+  const auto visit = [&](int c) {
+    bool inner_dirty = false;
+    std::uint16_t cmask = 0;
+    if (!caches_[static_cast<std::size_t>(c)]->invalidate(line, &inner_dirty,
+                                                          &cmask)) {
+      return;  // stale holder bit — the child evicted the line on its own
     }
+    *dirty = *dirty || inner_dirty;
+    const int d = node_depth_[static_cast<std::size_t>(c)];
+    LevelCounters& lc = ctr.level[static_cast<std::size_t>(d)];
+    if (coherence) {
+      ++lc.coherence_invalidations;
+    } else {
+      ++lc.back_invalidations;
+    }
+    if (d == innermost_depth_) {
+      memo_drop(c, line);
+    } else {
+      invalidate_children(c, cmask, line, dirty, ctr, coherence);
+    }
+  };
+  if (node_mask_ok_[static_cast<std::size_t>(node_id)]) {
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      visit(first + std::countr_zero(m));
+    }
+  } else {
+    for (int c = first; c < first + cnt; ++c) visit(c);
+  }
+}
+
+void MemorySystem::handle_eviction(Shard& sh, int node_id,
+                                   const Cache::Evicted& evicted,
+                                   std::uint64_t now) {
+  const int depth = node_depth_[static_cast<std::size_t>(node_id)];
+  Counters& ctr = *sh.ctr;
+  ++ctr.level[static_cast<std::size_t>(depth)].evictions;
+
+  bool dirty = evicted.dirty;
+  if (depth == innermost_depth_) {
+    memo_drop(node_id, evicted.line);
+  } else {
+    // Inclusive hierarchy: evicting here back-invalidates every descendant
+    // copy; a dirty inner copy dirties the outgoing line. The victim way's
+    // holder mask names the children that may hold it.
+    invalidate_children(node_id, evicted.holders, evicted.line, &dirty, ctr,
+                        /*coherence=*/false);
   }
 
   if (depth == 1) {
+    note_outer_evict(sh, node_shard_[static_cast<std::size_t>(node_id)],
+                     evicted.line);
     // Leaving the outermost cache: dirty lines are written back to memory,
     // consuming home-link bandwidth (asynchronously: no core stall).
     if (dirty) {
       const int home = home_socket(evicted.line);
-      std::uint64_t& next_free =
-          socket_next_free_[static_cast<std::size_t>(home)];
+      std::uint64_t& next_free = sh.links[static_cast<std::size_t>(home)];
       next_free = std::max(next_free, now) +
                   static_cast<std::uint64_t>(transfer_cycles_);
-      ++counters_.dram_writebacks;
+      sh.link_used[static_cast<std::size_t>(home)] +=
+          static_cast<std::uint64_t>(transfer_cycles_);
+      ++ctr.dram_writebacks;
     }
   } else if (dirty) {
     // Propagate dirtiness to the parent cache, which holds the line by
@@ -275,54 +549,210 @@ void MemorySystem::handle_eviction(int node_id, const Cache::Evicted& evicted,
   }
 }
 
-void MemorySystem::write_invalidate(int thread_id, std::uint64_t line) {
-  const int leaf = topo_.leaf_of_thread(thread_id);
-  // Sibling innermost caches under our own innermost parent are not in the
-  // directory: probe them directly (no-op when the innermost level is
-  // private per parent, e.g. fanout-1 L2→L1).
-  if (!tracked(innermost_depth_)) {
-    const int my_inner = topo_.ancestor_at_depth(leaf, innermost_depth_);
-    const int my_parent = topo_.node(my_inner).parent;
-    if (topo_.node(my_parent).num_children > 1) {
-      for (int c = topo_.node(my_parent).first_child;
-           c < topo_.node(my_parent).first_child +
-                   topo_.node(my_parent).num_children;
-           ++c) {
-        if (c == my_inner) continue;
-        if (caches_[static_cast<std::size_t>(c)]->invalidate(line, nullptr)) {
-          ++counters_.level[static_cast<std::size_t>(innermost_depth_)]
-                .coherence_invalidations;
-        }
+void MemorySystem::write_invalidate(const ThreadInfo& ti, Shard& sh,
+                                    std::uint64_t line, std::uint8_t flags) {
+  Counters& ctr = *sh.ctr;
+  // Copies inside our own socket, outside our own path: walk the path
+  // outermost-in and sweep the sibling subtrees hanging off each path node,
+  // consulting each path cache's holder mask. The caller's sock-shared flag
+  // already proved a line with no such copies needs no sweep at all, so
+  // reaching the loop means some mask is worth reading.
+  for (int i = (flags & Cache::kFlagSockShared) ? ti.path_len - 1 : 0; i >= 1;
+       --i) {
+    const int parent = ti.node[static_cast<std::size_t>(i)];
+    const int first = child_first_[static_cast<std::size_t>(parent)];
+    const int cnt = child_count_[static_cast<std::size_t>(parent)];
+    if (cnt <= 1) continue;  // only my own branch hangs off this node
+    const auto sweep = [&](int c) {
+      std::uint16_t cmask = 0;
+      if (!caches_[static_cast<std::size_t>(c)]->invalidate(line, nullptr,
+                                                            &cmask)) {
+        return;  // stale holder bit
+      }
+      const int d = node_depth_[static_cast<std::size_t>(c)];
+      ++ctr.level[static_cast<std::size_t>(d)].coherence_invalidations;
+      if (d == innermost_depth_) {
+        memo_drop(c, line);
+      } else {
+        bool ignored = false;
+        invalidate_children(c, cmask, line, &ignored, ctr,
+                            /*coherence=*/true);
+      }
+    };
+    const std::uint8_t myslot = ti.slot[static_cast<std::size_t>(i - 1)];
+    if (myslot != 0xFF) {
+      // The path cache holds the line (inclusion), so its mask exists.
+      std::uint16_t* mp =
+          ti.cache[static_cast<std::size_t>(i)]->holder_mask(line);
+      SBS_ASSERT(mp != nullptr);
+      const std::uint16_t others =
+          static_cast<std::uint16_t>(*mp & ~(1u << myslot));
+      for (std::uint32_t m = others; m != 0; m &= m - 1) {
+        sweep(first + std::countr_zero(m));
+      }
+      // Every flagged sibling is now verified gone (invalidated or stale):
+      // scrub the bits so the next write is mask-read only. `mp` is still
+      // valid — sibling invalidations never touch this cache's sets.
+      *mp = static_cast<std::uint16_t>(*mp & ~others);
+    } else {
+      const int me = ti.node[static_cast<std::size_t>(i - 1)];
+      for (int c = first; c < first + cnt; ++c) {
+        if (c != me) sweep(c);
       }
     }
   }
 
-  DirEntry* entry = directory_.find(line);
-  if (entry == nullptr) return;
-  for (int d = 1; tracked(d); ++d) {
-    std::uint64_t mask = entry->holders[static_cast<std::size_t>(d)];
-    const int my_node = topo_.ancestor_at_depth(leaf, d);
-    const int my_ord = my_node - depth_first_id_[static_cast<std::size_t>(d)];
-    mask &= ~(1ull << my_ord);  // keep our own path's copies
-    while (mask != 0) {
-      const int ord = std::countr_zero(mask);
-      mask &= mask - 1;
-      const int holder = depth_first_id_[static_cast<std::size_t>(d)] + ord;
-      if (caches_[static_cast<std::size_t>(holder)]->invalidate(line,
-                                                                nullptr)) {
-        ++counters_.level[static_cast<std::size_t>(d)].coherence_invalidations;
-      }
-      // Remote untracked innermost copies live under this (remote) holder.
-      if (d + 1 == innermost_depth_ && !tracked(innermost_depth_)) {
-        bool ignored = false;
-        invalidate_innermost_below(holder, line, -1, &ignored,
-                                   /*coherence=*/true);
-      }
-      dir_clear(line, d, ord);
+  // Copies in other sockets. Cross-exclusive lines — the overwhelming
+  // majority — already skipped this via the flags gate in access().
+  // Windowed mode defers the event to the barrier without consulting the
+  // directory (cross-unknown lines may post a redundant event; the barrier
+  // lookup resolves it); immediate mode applies it now, identical to the
+  // pre-sharded implementation.
+  if ((flags & (Cache::kFlagCrossShared | Cache::kFlagCrossUnknown)) == 0)
+    return;
+  if (windowed_) {
+    sh.outbox.push_back(InvalEvent{line, ti.shard});
+    return;
+  }
+  std::uint64_t* sd = sharing_.find(line);
+  if (sd == nullptr) return;
+  const std::uint64_t others = *sd & ~(1ull << ti.shard);
+  if (others == 0) return;
+  std::uint64_t mask = others;
+  while (mask != 0) {
+    const int victim = std::countr_zero(mask);
+    mask &= mask - 1;
+    apply_remote_invalidate(victim, line);
+  }
+  *sd &= ~others;
+  if (*sd == 0) sharing_.erase(line);
+}
+
+bool MemorySystem::apply_remote_invalidate(int victim_shard,
+                                           std::uint64_t line) {
+  // The victim's outermost cache holds every copy below it (inclusion), so
+  // one probe decides whether any sweep is needed at all. Remote dirty
+  // copies are dropped without a writeback (the writer supplies the data).
+  const int socket = socket_node_[static_cast<std::size_t>(victim_shard)];
+  Cache* sc = caches_[static_cast<std::size_t>(socket)].get();
+  std::uint16_t cmask = 0;
+  if (!sc->invalidate(line, nullptr, &cmask)) return false;
+  ++counters_.level[1].coherence_invalidations;
+  if (innermost_depth_ == 1) {
+    memo_drop(socket, line);
+  } else {
+    bool ignored = false;
+    invalidate_children(socket, cmask, line, &ignored, counters_,
+                        /*coherence=*/true);
+  }
+  return true;
+}
+
+void MemorySystem::set_windowed(bool on) {
+  windowed_ = on;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    if (on) {
+      sh.delta = Counters{};
+      sh.delta.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+      sh.ctr = &sh.delta;
+      sh.link_view.assign(socket_next_free_.begin(), socket_next_free_.end());
+      std::fill(sh.link_used.begin(), sh.link_used.end(), 0);
+      sh.links = sh.link_view.data();
+      sh.outbox.clear();
+      sh.sd_delta.clear();
+    } else {
+      sh.ctr = &counters_;
+      sh.links = socket_next_free_.data();
     }
-    // dir_clear may have erased or moved the entry; re-find per depth.
-    entry = directory_.find(line);
-    if (entry == nullptr) return;
+  }
+}
+
+void MemorySystem::merge_window() {
+  // 1. Counter deltas (before any barrier-time events charge counters_).
+  for (auto& shp : shards_) {
+    counters_ += shp->delta;
+    shp->delta = Counters{};
+    shp->delta.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+  }
+  // 2. Sharing-directory deltas, in shard order: after this, sharing_
+  //    reflects end-of-window outermost-cache residency. A fill that joins
+  //    existing holders is where cross-socket sharing is first discovered
+  //    in windowed mode, so mark both sides' subtrees here (idempotent —
+  //    share_socket stops at an already-marked root). The directory table
+  //    is far larger than the host cache, so lookups are pipelined with a
+  //    prefetch lookahead.
+  for (auto& shp : shards_) {
+    const std::size_t n = shp->sd_delta.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k + 8 < n) sharing_.prefetch(shp->sd_delta[k + 8].line);
+      const SdDelta& d = shp->sd_delta[k];
+      if (d.fill) {
+        std::uint64_t& mask = sharing_[d.line];
+        const std::uint64_t others = mask & ~(1ull << d.shard);
+        mask |= 1ull << d.shard;
+        if (others != 0) {
+          // The other holders — possibly marked exclusive — learn of the
+          // join. The filler's own ways are fresh cross-unknown fills and
+          // already behave conservatively, so only the others need a walk,
+          // and it short-circuits at any already-non-exclusive root.
+          for (std::uint64_t m = others; m != 0; m &= m - 1) {
+            share_socket(std::countr_zero(m), d.line,
+                         Cache::kFlagCrossShared,
+                         Cache::kFlagCrossShared | Cache::kFlagCrossUnknown);
+          }
+        }
+      } else {
+        std::uint64_t* mask = sharing_.find(d.line);
+        if (mask != nullptr) {
+          *mask &= ~(1ull << d.shard);
+          if (*mask == 0) sharing_.erase(d.line);
+        }
+      }
+    }
+    shp->sd_delta.clear();
+  }
+  // 3. Cross-shard write-invalidations, in shard order. Most events come
+  //    from cross-unknown writers and resolve to "no other holder".
+  for (auto& shp : shards_) {
+    const std::size_t n = shp->outbox.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k + 8 < n) sharing_.prefetch(shp->outbox[k + 8].line);
+      const InvalEvent& ev = shp->outbox[k];
+      std::uint64_t* sd = sharing_.find(ev.line);
+      if (sd == nullptr) continue;
+      std::uint64_t mask = *sd & ~(1ull << ev.writer_shard);
+      const std::uint64_t cleared = mask;
+      while (mask != 0) {
+        const int victim = std::countr_zero(mask);
+        mask &= mask - 1;
+        apply_remote_invalidate(victim, ev.line);
+      }
+      *sd &= ~cleared;
+      if (*sd == 0) sharing_.erase(ev.line);
+    }
+    shp->outbox.clear();
+  }
+  // 4. Link views: each shard served its requests privately from the same
+  //    committed baseline. The merged link frees no earlier than any
+  //    shard's local estimate (requests end when the last one finishes) and
+  //    no earlier than serving every shard's actual consumption back to
+  //    back from the baseline (full backlog when oversubscribed). Idle gaps
+  //    a view skipped over with max(view, now) are *not* consumption —
+  //    summing raw view advances would compound those gaps shard-fold every
+  //    window and run the link away from the clocks.
+  for (std::size_t h = 0; h < socket_next_free_.size(); ++h) {
+    const std::uint64_t base = socket_next_free_[h];
+    std::uint64_t next = base;
+    std::uint64_t backlog = base;
+    for (auto& shp : shards_) {
+      next = std::max(next, shp->link_view[h]);
+      backlog += shp->link_used[h];
+      shp->link_used[h] = 0;
+    }
+    next = std::max(next, backlog);
+    socket_next_free_[h] = next;
+    for (auto& shp : shards_) shp->link_view[h] = next;
   }
 }
 
@@ -335,11 +765,24 @@ void MemorySystem::reset() {
   for (auto& cache : caches_) {
     if (cache) cache->clear();
   }
-  directory_.clear();
+  sharing_.clear();
   std::fill(socket_next_free_.begin(), socket_next_free_.end(), 0);
   std::fill(last_miss_line_.begin(), last_miss_line_.end(), ~std::uint64_t{0});
+  std::fill(memo_.begin(), memo_.end(), Memo{});
+  std::fill(range_memo_.begin(), range_memo_.end(), RangeMemo{});
   counters_ = Counters{};
   counters_.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+  windowed_ = false;
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    sh.outbox.clear();
+    sh.sd_delta.clear();
+    sh.delta = Counters{};
+    sh.ctr = &counters_;
+    sh.links = socket_next_free_.data();
+    std::fill(sh.link_view.begin(), sh.link_view.end(), 0);
+    std::fill(sh.link_used.begin(), sh.link_used.end(), 0);
+  }
 }
 
 }  // namespace sbs::sim

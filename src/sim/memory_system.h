@@ -17,10 +17,64 @@
 // placement onto 1..4 sockets => 25..100% of aggregate bandwidth).
 //
 // Coherence: the hierarchy is inclusive (line in a depth-d cache is present
-// in all its ancestors). A directory tracks, per line, which cache at every
-// depth holds it; writes invalidate all copies outside the writer's path
-// (MSI-flavored, enough for race-free nested-parallel programs where only
-// false sharing and read sharing occur).
+// in all its ancestors). Writes invalidate all copies outside the writer's
+// path (MSI-flavored, enough for race-free nested-parallel programs where
+// only false sharing and read sharing occur). Within a socket, holders are
+// found the way real hardware finds them: each cache way carries an
+// *in-cache directory* — a conservative bitmask over the cache's children
+// (cache.h) — and sweeps descend only into flagged children, with
+// inclusion guaranteeing a cache that does not hold a line has nothing
+// below it. This replaces a per-line holder hash table — whose traffic
+// (insert per fill, erase per eviction, lookup per write) dominated the
+// miss path and missed the host cache on every probe for large machines —
+// with metadata that rides along in the cache ways the sweeps scan anyway.
+//
+// Write-sweep elision: each way additionally carries two sharing flags
+// (cache.h kFlag*) — "sock-shared" (a cache in this socket outside this
+// way's subtree may hold the line) and a cross-socket state
+// (exclusive / shared / unknown). Flags are computed top-down at fill
+// time from the parent way's holder mask and flags, conservatively
+// maintained by whole-subtree marking walks when a new holder joins an
+// existing one (share_children / share_socket), and reset to exclusive on
+// the writer's innermost way once a sweep completes. A write whose
+// innermost way carries no flag — the overwhelming majority — skips the
+// sibling sweep, the sharing-directory lookup, and the outbox entirely.
+// Windowed mode never reads the sharing directory mid-window: DRAM fills
+// start cross-unknown and writes to non-exclusive lines post a (possibly
+// redundant) barrier event, which keeps execution bit-identical for every
+// host-thread count while moving the cold directory lookups to the
+// barrier, where they pipeline behind explicit prefetches.
+//
+// Sharding (docs/PERF.md "Simulator performance"): every cache belongs to
+// exactly one depth-1 (socket) subtree, so all coherence state below a
+// socket is shard-local and shards may mutate their own caches
+// concurrently. Cross-shard state is exactly two things: which *other*
+// sockets' outermost caches hold a line (a global sharing directory keyed
+// by line, maintained from outermost-cache fills/evicts) and the per-socket
+// memory links. In the default immediate mode both are applied
+// synchronously (semantically identical to the pre-sharded
+// implementation). The engine switches to windowed mode, where cross-shard
+// write-invalidations and link consumption are buffered per shard and
+// applied at window barriers via merge_window() in deterministic shard
+// order — the contract that makes parallel window execution bit-identical
+// to serial execution of the same windowed schedule.
+//
+// Hot-path fast path: a small per-thread memo of recently-accessed lines
+// short-circuits repeat accesses — the common case for streaming kernels
+// (line_bytes/8 consecutive double accesses per line, and a few
+// interleaved read/write streams) — without touching the cache sets. The
+// memo is kept *precise*: every removal of a line from an innermost cache
+// (eviction victim, coherence or back-invalidation, clear) drops exactly
+// that line from the memos of the threads the cache serves, so a memo hit
+// proves the line is still resident — this also makes the memo sound when
+// SMT siblings share the innermost cache. Two deliberate, deterministic
+// relaxations relative to the un-memoized model, shared by both modes:
+// memo-absorbed hits do not refresh the line's LRU recency, and *repeat*
+// writes via the memo skip re-running the remote-invalidate scan, so a
+// remote copy refetched between two same-line writes by one thread is
+// invalidated one write later than strict MSI would. Both are only
+// observable as small deterministic shifts in eviction order and
+// coherence counts.
 #pragma once
 
 #include <array>
@@ -60,6 +114,8 @@ class MemorySystem {
                              std::uint64_t bytes, bool write,
                              std::uint64_t now);
 
+  /// Aggregate counters. In windowed mode, complete only after the last
+  /// merge_window() (per-shard deltas are folded in at barriers).
   const Counters& counters() const { return counters_; }
   Counters& counters() { return counters_; }
 
@@ -71,32 +127,141 @@ class MemorySystem {
   int num_sockets() const { return static_cast<int>(socket_next_free_.size()); }
   std::uint32_t line_bytes() const { return line_bytes_; }
 
+  // --- sharded execution (driven by SimEngine) ---
+  /// One shard per depth-1 (socket) subtree.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of_thread(int thread_id) const {
+    return tinfo_[static_cast<std::size_t>(thread_id)].shard;
+  }
+  /// Enter/leave windowed mode. While windowed, threads of different shards
+  /// may call access() concurrently (each shard touches only its own
+  /// state); cross-shard traffic is buffered until merge_window().
+  void set_windowed(bool on);
+  /// Window barrier: fold per-shard counter deltas into counters(), apply
+  /// sharing-directory updates and cross-shard invalidation events in
+  /// deterministic shard order, merge per-shard link views into the
+  /// committed per-socket link state, and reseed the views. Single-threaded.
+  void merge_window();
+
  private:
-  struct DirEntry {
-    // holders[d] = bitmask over the depth-d cache ordinals holding the line.
-    std::array<std::uint64_t, 8> holders{};
+  static constexpr int kMemoSlots = 64;
+  /// Streak length at which a contiguous run displaces the promoted range.
+  static constexpr std::uint64_t kRangePromoteLen = 16;
+
+  /// A cross-shard write-invalidation deferred to the window barrier.
+  struct InvalEvent {
+    std::uint64_t line;
+    std::int32_t writer_shard;
+  };
+  /// A deferred sharing-directory update (outermost-cache fill or evict).
+  struct SdDelta {
+    std::uint64_t line;
+    std::int32_t shard;
+    bool fill;  ///< true: set the shard bit; false: clear it.
+  };
+
+  struct alignas(64) Shard {
+    Counters delta;            ///< windowed-mode counter target
+    Counters* ctr = nullptr;   ///< where access() counts (delta or global)
+    std::uint64_t* links = nullptr;  ///< link state view (local or global)
+    std::vector<std::uint64_t> link_view;
+    /// Cycles of link service actually consumed this window (transfer time
+    /// only — never the idle gaps the view skips over with max(view, now)).
+    std::vector<std::uint64_t> link_used;
+    std::vector<InvalEvent> outbox;
+    std::vector<SdDelta> sd_delta;
+  };
+
+  /// Flattened per-thread hot-path data: the root-to-leaf cache path
+  /// innermost-first, with depths/costs precomputed so access() never
+  /// touches the Topology.
+  struct ThreadInfo {
+    int path_len = 0;
+    std::array<std::int32_t, 8> node{};
+    std::array<std::int32_t, 8> depth{};
+    std::array<std::uint32_t, 8> hit_cycles{};
+    std::array<Cache*, 8> cache{};
+    /// Child index of node[i] within its parent node[i+1] — the bit this
+    /// path occupies in the parent's holder masks. 0xFF when the parent has
+    /// too many children for a 16-bit mask (sweeps fall back to probe-all).
+    std::array<std::uint8_t, 8> slot{};
+    int shard = 0;    ///< == socket index
+    int leaf_id = 0;
+    int inner_depth = 0;
+  };
+
+  /// Recent-lines memo (see file comment): direct-mapped on the low line
+  /// bits, so lookup, insert, and memo_drop() are all one slot probe. Each
+  /// entry packs (line << 1) | wrote into one word so a probe touches a
+  /// single host cache line. Kept exact by memo_drop() at every
+  /// innermost-cache line removal.
+  struct Memo {
+    Memo() { entry.fill(~std::uint64_t{0}); }
+    std::array<std::uint64_t, kMemoSlots> entry;
+  };
+
+  /// Resident-range memo: a contiguous run of lines [lo, hi) proven
+  /// resident in the thread's innermost cache (each was accessed, and none
+  /// has been removed since — memo_drop() shrinks the run on removal).
+  /// `wrote` means every line in the run is additionally known dirty.
+  /// Streaming kernels sweep the same buffer repeatedly; once the first
+  /// sweep promotes the run, later sweeps are absorbed wholesale — one
+  /// range compare and a bulk counter update for an entire access_range().
+  /// The candidate fields are the stream detector: a contiguous streak of
+  /// completed accesses that replaces the run once it outgrows it.
+  struct RangeMemo {
+    std::uint64_t lo = 0, hi = 0;  ///< the promoted run; empty when lo == hi
+    std::uint64_t cand_lo = 0, cand_hi = 0;  ///< the streak being detected
+    std::uint8_t wrote = 0;
+    std::uint8_t cand_wrote = 0;
   };
 
   int home_socket(std::uint64_t line) const;
-  /// The innermost cache level is not tracked in the directory (its
-  /// fill/evict traffic dominates); inclusion lets the rare events that
-  /// need it probe the 1-2 child caches of a tracked holder directly.
-  bool tracked(int depth) const {
-    if (depth < 1 || depth > innermost_depth_) return false;
-    return depth < innermost_depth_ || innermost_depth_ == 1;
-  }
-  /// Invalidate the line from every innermost cache below `parent_id`
-  /// (optionally sparing one), propagating dirtiness and counting.
-  void invalidate_innermost_below(int parent_id, std::uint64_t line,
-                                  int spare_node, bool* dirty,
-                                  bool coherence = false);
-  void fill_path(int thread_id, std::uint64_t line, bool dirty,
-                 int from_depth, std::uint64_t now);
-  void handle_eviction(int node_id, const Cache::Evicted& evicted,
+  /// Feed a completed (residency-proving) access into the stream detector,
+  /// promoting the streak into the absorbing run once long enough.
+  void extend_streak(RangeMemo& rm, std::uint64_t line, bool write);
+  /// Drop `line` from the memos of the threads served by innermost cache
+  /// `inner_node`.
+  void memo_drop(int inner_node, std::uint64_t line);
+  /// Invalidate every copy of `line` in the caches strictly below
+  /// `node_id`, probing only the children flagged in `mask` (the holder
+  /// mask of node_id's own — possibly just-removed — copy of the line) and
+  /// recursing with each removed copy's mask. Counts per depth as
+  /// back-invalidations, or coherence invalidations when `coherence`.
+  void invalidate_children(int node_id, std::uint32_t mask,
+                           std::uint64_t line, bool* dirty, Counters& ctr,
+                           bool coherence);
+  /// Fill [0, from_index] outermost-first with propagated sharing flags
+  /// (`flags` is the state computed at the hit boundary; recomputed at a
+  /// depth-1 fill from the sharing directory). Returns the innermost way's
+  /// flags — what the write path needs to decide whether any sweep is due.
+  std::uint8_t fill_path(const ThreadInfo& ti, Shard& sh, std::uint64_t line,
+                         bool write, int from_index, std::uint64_t now,
+                         std::uint8_t flags);
+  void handle_eviction(Shard& sh, int node_id, const Cache::Evicted& evicted,
                        std::uint64_t now);
-  void write_invalidate(int thread_id, std::uint64_t line);
-  void dir_set(std::uint64_t line, int depth, int ordinal);
-  void dir_clear(std::uint64_t line, int depth, int ordinal);
+  void write_invalidate(const ThreadInfo& ti, Shard& sh, std::uint64_t line,
+                        std::uint8_t flags);
+  /// Invalidate every copy of `line` held by `victim_shard` (all depths,
+  /// including untracked innermost copies), charging coherence counters to
+  /// the global counter block. Returns true if the shard held the line.
+  bool apply_remote_invalidate(int victim_shard, std::uint64_t line);
+  /// OR sharing-flag `bits` into every copy of `line` strictly below
+  /// `node_id`, descending via the holder masks (`mask` = node_id's own
+  /// copy's mask). Descent stops at a way already carrying any of
+  /// `stop_bits` (see share_socket for when that is sound).
+  void share_children(int node_id, std::uint32_t mask, std::uint64_t line,
+                      std::uint8_t bits, std::uint8_t stop_bits);
+  /// share_children from a shard's outermost cache down (no-op if the
+  /// socket no longer holds the line).
+  void share_socket(int shard, std::uint64_t line, std::uint8_t bits,
+                    std::uint8_t stop_bits);
+  /// Record a depth-1 fill in the sharing directory and return the new
+  /// way's cross-socket flag: exact (exclusive/shared, with arising walks
+  /// into the other holders) in immediate mode, kFlagCrossUnknown in
+  /// windowed mode where the directory is read-only until the barrier.
+  std::uint8_t outer_fill_flags(Shard& sh, int shard, std::uint64_t line);
+  void note_outer_evict(Shard& sh, int shard, std::uint64_t line);
 
   const machine::Topology& topo_;
   MemoryParams params_;
@@ -104,22 +269,44 @@ class MemorySystem {
   std::uint32_t line_shift_;
   int innermost_depth_ = 1;  ///< tree depth of the innermost cache level
   std::uint64_t page_lines_shift_;  ///< log2(lines per page)
+  bool memo_enabled_ = false;
+  bool windowed_ = false;
 
   /// Cache instance per cache node id; index aligned with topology ids
   /// (nullptr for the root and leaves).
   std::vector<std::unique_ptr<Cache>> caches_;
-  /// Per-depth: id of the first node at that depth (dense ordinals).
-  std::vector<int> depth_first_id_;
-  /// Per-thread root-to-leaf cache path, innermost first.
-  std::vector<std::vector<int>> thread_path_;
+  // --- per-node precomputation (hot paths never call into Topology) ---
+  std::vector<std::int32_t> node_depth_;
+  std::vector<std::int32_t> node_shard_;  ///< socket index; -1 above depth 1
+  /// Children of each node, flattened: [child_first_[id], child_first_[id+1])
+  /// indexes into nothing — children ids are contiguous, so only the first
+  /// child and count are kept, mirrored from the Topology for hot loops.
+  std::vector<std::int32_t> child_first_;
+  std::vector<std::int32_t> child_count_;
+  /// Whether the node's holder masks are usable (≤16 cache children);
+  /// otherwise sweeps probe every child.
+  std::vector<std::uint8_t> node_mask_ok_;
+  /// Threads served by each innermost cache (contiguous): first id / count.
+  std::vector<std::int32_t> inner_first_thread_;
+  std::vector<std::int32_t> inner_thread_count_;
+  std::vector<std::int32_t> socket_node_;  ///< shard -> depth-1 node id
+
+  std::vector<ThreadInfo> tinfo_;
+  std::vector<Memo> memo_;
+  std::vector<RangeMemo> range_memo_;
   /// Per-thread last missed line (prefetch streak detection).
   std::vector<std::uint64_t> last_miss_line_;
 
-  /// Virtual time when each socket's memory link frees up.
+  /// Committed virtual time when each socket's memory link frees up.
   std::vector<std::uint64_t> socket_next_free_;
   double transfer_cycles_;  ///< line transfer time on a socket link
+  std::uint64_t isolated_miss_cycles_ = 0;  ///< dram_latency / mlp
 
-  FlatMap<DirEntry> directory_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// line -> bitmask of shards whose outermost (depth-1) cache holds it.
+  /// Mutated only in immediate mode or at barriers; read-only to shards
+  /// during a window.
+  FlatMap<std::uint64_t> sharing_;
   Counters counters_;
 };
 

@@ -1,0 +1,97 @@
+// Parallel window execution must be invisible: for every scheduler and
+// kernel, running the simulator with host_threads > 1 yields bit-identical
+// results to the serial pump — same makespan, same aggregate counters, and
+// the same per-cache-level hit/miss/eviction/invalidation totals (see
+// src/sim/engine.h for the determinism argument).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "kernels/kernel.h"
+#include "machine/topology.h"
+#include "sched/registry.h"
+#include "sim/engine.h"
+
+namespace sbs::sim {
+namespace {
+
+SimResult run_once(const machine::Topology& topo,
+                   const std::string& sched_name,
+                   const std::string& kernel_name, std::size_t n,
+                   int host_threads) {
+  kernels::KernelParams kp;
+  kp.n = n;
+  auto kernel = kernels::MakeKernel(kernel_name, kp);
+  kernel->prepare(1);
+  auto sched = sched::MakeScheduler(sched_name);
+  SimParams sp;
+  sp.host_threads = host_threads;
+  SimEngine engine(topo, sp);
+  const SimResult r = engine.run(*sched, kernel->make_root());
+  EXPECT_TRUE(kernel->verify()) << sched_name << "/" << kernel_name;
+  return r;
+}
+
+void expect_identical(const SimResult& serial, const SimResult& par,
+                      const std::string& label) {
+  EXPECT_EQ(serial.makespan_cycles, par.makespan_cycles) << label;
+  const Counters& a = serial.counters;
+  const Counters& b = par.counters;
+  EXPECT_EQ(a.accesses, b.accesses) << label;
+  EXPECT_EQ(a.writes, b.writes) << label;
+  EXPECT_EQ(a.dram_reads, b.dram_reads) << label;
+  EXPECT_EQ(a.dram_writebacks, b.dram_writebacks) << label;
+  EXPECT_EQ(a.remote_dram_accesses, b.remote_dram_accesses) << label;
+  EXPECT_EQ(a.queue_wait_cycles, b.queue_wait_cycles) << label;
+  ASSERT_EQ(a.level.size(), b.level.size()) << label;
+  for (std::size_t lvl = 1; lvl < a.level.size(); ++lvl) {
+    EXPECT_EQ(a.level[lvl].hits, b.level[lvl].hits) << label << " L" << lvl;
+    EXPECT_EQ(a.level[lvl].misses, b.level[lvl].misses)
+        << label << " L" << lvl;
+    EXPECT_EQ(a.level[lvl].evictions, b.level[lvl].evictions)
+        << label << " L" << lvl;
+    EXPECT_EQ(a.level[lvl].back_invalidations, b.level[lvl].back_invalidations)
+        << label << " L" << lvl;
+    EXPECT_EQ(a.level[lvl].coherence_invalidations,
+              b.level[lvl].coherence_invalidations)
+        << label << " L" << lvl;
+  }
+}
+
+class SimParallelEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulerByKernel, SimParallelEquivalence,
+    ::testing::Combine(::testing::Values("WS", "PWS", "SB", "SB-D"),
+                       ::testing::Values("quicksort", "samplesort")),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';  // "SB-D" → valid gtest name
+      }
+      return name;
+    });
+
+TEST_P(SimParallelEquivalence, HostThreadsDoNotChangeResults) {
+  const auto& [sched_name, kernel_name] = GetParam();
+  // Small n keeps the test fast; the scaled-down preset still has 4
+  // sockets, so host_threads ∈ {2, 4} exercise partial and full sharding.
+  const machine::Topology topo(machine::Preset("xeon7560_s8"));
+  const std::size_t n = 20000;
+
+  const SimResult serial = run_once(topo, sched_name, kernel_name, n, 1);
+  for (int host_threads : {2, 4}) {
+    const SimResult par =
+        run_once(topo, sched_name, kernel_name, n, host_threads);
+    expect_identical(serial, par,
+                     sched_name + "/" + kernel_name + " ht=" +
+                         std::to_string(host_threads));
+  }
+}
+
+}  // namespace
+}  // namespace sbs::sim

@@ -32,6 +32,13 @@ Rules:
               (determinism contract, see service/arrivals.h). Seeding from
               std::random_device, srand(), or time() makes runs
               irreproducible and is banned repo-wide.
+  sim-unordered-map
+              std::unordered_map in src/sim/ is banned: the simulator's
+              per-access structures (directory, holder sets) are the
+              hottest data in the repo, and node-per-entry hashing there
+              cost ~10x vs the open-addressing sim::FlatMap that replaced
+              it (see src/sim/flat_map.h). Cold, setup-only maps may carry
+              a waiver.
 
 Waivers: append `// lint:allow(<rule>)` on the offending line or the line
 directly above it.
@@ -59,6 +66,7 @@ STD_DEQUE_RE = re.compile(r"\bstd::deque\b")
 BLOCKING_CALL_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|yield)\s*\("
     r"|\.\s*(?:wait|wait_for|wait_until|join)\s*\(")
+SIM_UNORDERED_MAP_RE = re.compile(r"\bstd::unordered_map\b")
 WALLCLOCK_SEED_RE = re.compile(
     r"\bstd::random_device\b|\bsrand\s*\("
     r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
@@ -134,6 +142,7 @@ def lint_file(path, rel, findings):
     code_lines = [strip_strings_and_comments(l) for l in raw_lines]
     in_sched = rel.startswith("src/sched/")
     in_service = rel.startswith("src/service/")
+    in_sim = rel.startswith("src/sim/")
     new_exempt = any(rel.startswith(p) for p in RAW_NEW_EXEMPT)
 
     for idx, code in enumerate(code_lines):
@@ -160,6 +169,13 @@ def lint_file(path, rel, findings):
                     (rel, lineno, "std-deque",
                      "std::deque in src/sched/ needs an explicit "
                      "`// lint:allow(std-deque)` waiver"))
+
+        if in_sim and SIM_UNORDERED_MAP_RE.search(code) and not waived(
+                raw_lines, idx, "sim-unordered-map"):
+            findings.append(
+                (rel, lineno, "sim-unordered-map",
+                 "std::unordered_map in src/sim/ — use sim::FlatMap on any "
+                 "per-access path; waive only for cold setup-time maps"))
 
         if in_service and BLOCKING_CALL_RE.search(code) and not waived(
                 raw_lines, idx, "blocking-call"):
