@@ -32,6 +32,7 @@
 #include "sched/chase_lev.h"
 #include "sched/ops.h"
 #include "sched/registry.h"
+#include "sim/fiber.h"
 #include "util/json.h"
 
 namespace {
@@ -283,6 +284,31 @@ double chase_lev_contended_steal_items_per_sec() {
       });
 }
 
+constexpr std::size_t kFiberSwitches = std::size_t{1} << 22;
+constexpr int kFiberReps = 5;
+
+/// Raw fiber-switch round trips per second: one resume() into a fiber that
+/// immediately yields back, repeated. This is the unit cost the simulator
+/// pays to suspend/continue a strand at a window boundary — the quantity
+/// the engine's strand batching and inline-strand execution exist to
+/// avoid. One op = resume + yield (two context switches).
+double fiber_switch_ops_per_sec() {
+  double best = 1e300;
+  for (int rep = 0; rep < kFiberReps; ++rep) {
+    sim::Fiber fiber(
+        [] {
+          for (;;) sim::Fiber::yield();
+        },
+        1u << 16);
+    const double t0 = now_s();
+    for (std::size_t i = 0; i < kFiberSwitches; ++i) fiber.resume();
+    best = std::min(best, now_s() - t0);
+    benchmark::DoNotOptimize(fiber.resumes());
+    fiber.abandon();
+  }
+  return static_cast<double>(kFiberSwitches) / best;
+}
+
 constexpr std::size_t kAllocBatch = 64;
 constexpr std::size_t kAllocTotal = std::size_t{1} << 20;
 constexpr int kAllocReps = 5;
@@ -340,6 +366,7 @@ void write_bench_cells() {
   const double heap_alloc = job_alloc_ops_per_sec(nullptr);
   runtime::JobArena arena;
   const double arena_alloc = job_alloc_ops_per_sec(&arena);
+  const double fiber_ops = fiber_switch_ops_per_sec();
 
   JsonWriter w;
   w.begin_object();
@@ -384,6 +411,12 @@ void write_bench_cells() {
   w.kv("arena_ops_per_sec", arena_alloc);
   w.kv("speedup", arena_alloc / heap_alloc);
   w.end_object();
+  w.key("fiber_switch").begin_object();
+  w.kv("workload", "resume+yield round trip, 4M switches, best of 5");
+  w.kv("impl", SBS_ASM_FIBERS ? "asm" : "ucontext");
+  w.kv("round_trips_per_sec", fiber_ops);
+  w.kv("ns_per_round_trip", 1e9 / fiber_ops);
+  w.end_object();
   w.end_object();
 
   const char* path = "BENCH_micro_overheads.json";
@@ -411,6 +444,9 @@ void write_bench_cells() {
       locked_cont / 1e6, cl_cont / 1e6, cl_cont / locked_cont);
   std::printf("fork alloc:    heap %.1fM ops/s, arena %.1fM ops/s (%.2fx)\n",
               heap_alloc / 1e6, arena_alloc / 1e6, arena_alloc / heap_alloc);
+  std::printf("fiber switch:  %.1fM round trips/s (%.1f ns each, %s)\n",
+              fiber_ops / 1e6, 1e9 / fiber_ops,
+              SBS_ASM_FIBERS ? "asm" : "ucontext");
 }
 
 }  // namespace

@@ -6,12 +6,15 @@
 // Writes BENCH_sim_throughput.json. Every simulated run here is
 // deterministic: for a given (machine, kernel, n, skew_quantum), the
 // makespan and counters are bit-identical for every --host-threads value
-// (see src/sim/engine.h); the bench asserts this before reporting.
+// and for adaptive vs fixed-quantum windows (see src/sim/engine.h); the
+// bench asserts both before reporting, the latter across all four
+// schedulers.
 //
 //   ./sim_throughput             # full matrix (n=1M, huge64 scaling)
-//   ./sim_throughput --smoke     # CI: small n, still asserts parallel==serial
+//   ./sim_throughput --smoke     # CI: small n, still asserts equivalences
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -39,18 +42,22 @@ struct Measurement {
   std::uint64_t accesses = 0;
   std::uint64_t makespan = 0;
   double acc_per_sec = 0;
+  sim::Counters counters;
 };
 
-/// Run `kernel_name`/WS on `cfg` with the given engine knobs `reps` times;
-/// keep the best wall time. The SimResult is identical across reps (the
-/// engine guarantees it), so counters come from the last run.
+/// Run `kernel_name` under `sched_name` on `cfg` with the given engine
+/// knobs `reps` times; keep the best wall time. The SimResult is identical
+/// across reps (the engine guarantees it), so counters come from the last
+/// run.
 Measurement measure(const machine::MachineConfig& cfg,
                     const std::string& kernel_name, std::size_t n,
-                    std::uint64_t quantum, int host_threads, int reps) {
+                    std::uint64_t quantum, int host_threads, int reps,
+                    bool adaptive = true, const std::string& sched_name = "WS") {
   machine::Topology topo(cfg);
   sim::SimParams sp;
   sp.skew_quantum = quantum;
   sp.host_threads = host_threads;
+  sp.adaptive_window = adaptive;
   sim::SimEngine eng(topo, sp);
 
   kernels::KernelParams kp;
@@ -60,7 +67,7 @@ Measurement measure(const machine::MachineConfig& cfg,
     auto kernel = kernels::MakeKernel(kernel_name, kp);
     kernel->prepare(1);
     sched::SchedulerSpec spec;
-    spec.name = "WS";
+    spec.name = sched_name;
     auto sched = sched::MakeScheduler(spec);
     const double t0 = now_s();
     const sim::SimResult r = eng.run(*sched, kernel->make_root());
@@ -70,10 +77,33 @@ Measurement measure(const machine::MachineConfig& cfg,
                   "simulator nondeterministic across repetitions");
     m.makespan = r.makespan_cycles;
     m.accesses = r.counters.accesses;
+    m.counters = r.counters;
     m.best_wall_s = std::min(m.best_wall_s, dt);
   }
   m.acc_per_sec = static_cast<double>(m.accesses) / m.best_wall_s;
   return m;
+}
+
+/// Adaptive windows only elide merge barriers; everything else — timing,
+/// traffic, even the fiber-switch count — must match the fixed-quantum run
+/// exactly. (window_merges is the one counter allowed to differ: dropping
+/// merges is the optimization.)
+void check_adaptive_identical(const Measurement& fixed, const Measurement& ad,
+                              const char* what) {
+  const sim::Counters& f = fixed.counters;
+  const sim::Counters& a = ad.counters;
+  SBS_CHECK_MSG(fixed.makespan == ad.makespan && f.accesses == a.accesses &&
+                    f.writes == a.writes && f.dram_reads == a.dram_reads &&
+                    f.dram_writebacks == a.dram_writebacks &&
+                    f.remote_dram_accesses == a.remote_dram_accesses &&
+                    f.queue_wait_cycles == a.queue_wait_cycles &&
+                    f.fiber_switches == a.fiber_switches &&
+                    f.windows_executed == a.windows_executed &&
+                    f.pump_passes == a.pump_passes &&
+                    f.inline_strands == a.inline_strands,
+                what);
+  SBS_CHECK_MSG(a.window_merges <= f.window_merges,
+                "adaptive windows increased merge count");
 }
 
 void emit(JsonWriter& w, const char* key, const Measurement& m) {
@@ -82,6 +112,13 @@ void emit(JsonWriter& w, const char* key, const Measurement& m) {
   w.kv("best_wall_s", m.best_wall_s);
   w.kv("accesses_per_sec", m.acc_per_sec);
   w.kv("makespan_cycles", m.makespan);
+  w.key("engine").begin_object();
+  w.kv("windows_executed", m.counters.windows_executed);
+  w.kv("window_merges", m.counters.window_merges);
+  w.kv("pump_passes", m.counters.pump_passes);
+  w.kv("fiber_switches", m.counters.fiber_switches);
+  w.kv("inline_strands", m.counters.inline_strands);
+  w.end_object();
   w.end_object();
 }
 
@@ -89,12 +126,20 @@ void emit(JsonWriter& w, const char* key, const Measurement& m) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool xeon_only = false;
+  std::size_t n_override = 0;
+  int reps_override = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--n=", 4) == 0)
+      n_override = static_cast<std::size_t>(std::atoll(argv[i] + 4));
+    if (std::strncmp(argv[i], "--reps=", 7) == 0)
+      reps_override = std::atoi(argv[i] + 7);
+    if (std::strcmp(argv[i], "--xeon-only") == 0) xeon_only = true;
   }
 
-  const std::size_t n = smoke ? 100000 : 1000000;
-  const int reps = smoke ? 1 : 3;
+  const std::size_t n = n_override != 0 ? n_override : (smoke ? 100000 : 1000000);
+  const int reps = reps_override != 0 ? reps_override : (smoke ? 1 : 3);
   const std::uint64_t quantum = 10000;
 
   const machine::MachineConfig xeon =
@@ -113,6 +158,34 @@ int main(int argc, char** argv) {
               "acc/s (makespan %llu, identical)\n",
               n, serial.acc_per_sec / 1e6, par4.acc_per_sec / 1e6,
               static_cast<unsigned long long>(serial.makespan));
+
+  // Fixed-quantum control cell: adaptive window coalescing must be a pure
+  // host-side optimization.
+  const Measurement fixed_q = measure(xeon, "samplesort", n, quantum,
+                                      /*host_threads=*/1, reps,
+                                      /*adaptive=*/false);
+  check_adaptive_identical(fixed_q, serial,
+                           "adaptive windows diverged from fixed quantum");
+  std::printf("  fixed-quantum control: %.1fM acc/s, %llu merges vs %llu "
+              "adaptive\n",
+              fixed_q.acc_per_sec / 1e6,
+              static_cast<unsigned long long>(fixed_q.counters.window_merges),
+              static_cast<unsigned long long>(serial.counters.window_merges));
+
+  // Fixed-vs-adaptive equivalence across every scheduler family (smaller n:
+  // these cells are correctness gates, not throughput measurements).
+  const std::size_t eq_n = std::min<std::size_t>(n, 100000);
+  for (const char* sched : {"WS", "PWS", "SB", "SB-D"}) {
+    const Measurement f = measure(xeon, "samplesort", eq_n, quantum, 1, 1,
+                                  /*adaptive=*/false, sched);
+    const Measurement a = measure(xeon, "samplesort", eq_n, quantum, 1, 1,
+                                  /*adaptive=*/true, sched);
+    check_adaptive_identical(f, a, "adaptive windows diverged from fixed");
+    std::printf("  adaptive==fixed under %s (makespan %llu)\n", sched,
+                static_cast<unsigned long long>(f.makespan));
+  }
+
+  if (xeon_only) return 0;
 
   // The huge sharded configuration (64 sockets, 4 cache levels, 512
   // threads): where parallel window execution pays.
@@ -136,19 +209,24 @@ int main(int argc, char** argv) {
   JsonWriter w;
   w.begin_object();
   w.kv("bench", "sim_throughput");
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.kv("smoke", smoke);
   w.kv("kernel", "samplesort");
   w.kv("sched", "WS");
   w.kv("n", n);
   w.kv("skew_quantum", quantum);
+  w.kv("adaptive_window", true);
+  w.kv("inline_strands", true);
   // Measured at the seed of this change series (commit 00f9302, same
   // machine/kernel/n/quantum): 9.2M simulated accesses per host-second.
   w.kv("baseline_accesses_per_sec_at_00f9302", 9200000);
   w.key("xeon7560_fig4").begin_object();
   emit(w, "host_threads_1", serial);
   emit(w, "host_threads_4", par4);
+  emit(w, "host_threads_1_fixed_quantum", fixed_q);
   w.kv("parallel_equals_serial", true);
+  w.kv("adaptive_equals_fixed", true);
+  w.kv("adaptive_equals_fixed_schedulers", "WS,PWS,SB,SB-D");
   w.end_object();
   w.key("huge64_4level").begin_object();
   w.kv("n", huge_n);

@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
 
   const bool tracing = !trace_path.empty() || !jsonl_trace_path.empty() ||
                        !metrics_path.empty();
-  const auto export_trace = [&](const trace::Recorder& rec) {
+  const auto export_trace = [&](const trace::Recorder& rec,
+                                const trace::EngineOverheads* engine_ov) {
     if (!trace_path.empty()) {
       trace::TraceInfo info;
       info.engine = engine_name;
@@ -153,7 +154,7 @@ int main(int argc, char** argv) {
     if (!metrics_path.empty()) {
       const std::string label = kernel_name + "/" + sched_name;
       if (trace::WriteMetricsJsonl(trace::Analyze(rec), metrics_path, label,
-                                   /*truncate=*/true)) {
+                                   /*truncate=*/true, engine_ov)) {
         std::printf("metrics: %s\n", metrics_path.c_str());
       } else {
         std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
@@ -166,7 +167,7 @@ int main(int argc, char** argv) {
     if (tracing) pool.enable_tracing();
     const runtime::RunStats stats = pool.run(*sched, kernel->make_root());
     std::printf("[threads] %s\n", stats.summary().c_str());
-    if (tracing) export_trace(*pool.recorder());
+    if (tracing) export_trace(*pool.recorder(), nullptr);
   } else {
     sim::SimParams sp;
     sp.num_threads = static_cast<int>(threads);
@@ -178,7 +179,15 @@ int main(int argc, char** argv) {
     const sim::SimResult r = engine.run(*sched, kernel->make_root());
     std::printf("[sim] %s\n", r.stats.summary().c_str());
     std::printf("[sim] %s\n", r.counters.summary().c_str());
-    if (tracing) export_trace(*engine.recorder());
+    if (tracing) {
+      trace::EngineOverheads ov;
+      ov.windows_executed = r.counters.windows_executed;
+      ov.window_merges = r.counters.window_merges;
+      ov.pump_passes = r.counters.pump_passes;
+      ov.fiber_switches = r.counters.fiber_switches;
+      ov.inline_strands = r.counters.inline_strands;
+      export_trace(*engine.recorder(), &ov);
+    }
   }
   std::printf("scheduler stats: %s\n", sched->stats_string().c_str());
   if (checker != nullptr) {

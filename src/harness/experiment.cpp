@@ -95,10 +95,16 @@ std::vector<CellResult> RunExperiment(const ExperimentSpec& spec,
                 "failed to write --trace output");
           }
           if (!spec.metrics_path.empty()) {
+            trace::EngineOverheads ov;
+            ov.windows_executed = r.counters.windows_executed;
+            ov.window_merges = r.counters.window_merges;
+            ov.pump_passes = r.counters.pump_passes;
+            ov.fiber_switches = r.counters.fiber_switches;
+            ov.inline_strands = r.counters.inline_strands;
             SBS_CHECK_MSG(
                 trace::WriteMetricsJsonl(trace::Analyze(*engine.recorder()),
                                          spec.metrics_path, cell_label,
-                                         /*truncate=*/first_metrics_line),
+                                         /*truncate=*/first_metrics_line, &ov),
                 "failed to write --metrics-json output");
             first_metrics_line = false;
           }

@@ -17,45 +17,48 @@ Cache::Cache(std::uint64_t size_bytes, std::uint32_t line_bytes,
                 "cache lines must divide evenly into sets");
   SBS_CHECK_MSG((num_sets_ & (num_sets_ - 1)) == 0,
                 "number of cache sets must be a power of two");
-  ways_.assign(num_sets_ * assoc_, Way{});
+  tags_.assign(num_sets_ * assoc_, 0);
+  meta_.assign(num_sets_ * assoc_, Meta{});
 }
 
 bool Cache::probe_and_touch(std::uint64_t line, bool mark_dirty,
                             std::uint8_t* flags, std::uint16_t* holders) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      Way hit = set[w];
-      if (mark_dirty) hit.dirty = true;
-      if (flags != nullptr) *flags = hit.flags;
-      if (holders != nullptr) *holders = hit.holders;
-      // Move to MRU (front), shifting the ways in between.
-      for (std::uint32_t i = w; i > 0; --i) set[i] = set[i - 1];
-      set[0] = hit;
-      return true;
-    }
-  }
-  return false;
+  const std::uint64_t set = set_index(line);
+  std::uint64_t* tags = tags_at(set);
+  const int w = find_way(tags, key_of(line));
+  if (w < 0) return false;
+  Meta* meta = meta_at(set);
+  if (mark_dirty) meta[w].dirty = 1;
+  if (flags != nullptr) *flags = meta[w].flags;
+  if (holders != nullptr) *holders = meta[w].holders;
+  if (w > 0) rotate_to_front(tags, meta, static_cast<std::uint32_t>(w));
+  return true;
 }
 
 Cache::Evicted Cache::fill(std::uint64_t line, bool dirty,
                            std::uint8_t flags) {
-  Way* set = set_begin(set_index(line));
+  const std::uint64_t set = set_index(line);
+  std::uint64_t* tags = tags_at(set);
+  Meta* meta = meta_at(set);
   SBS_ASSERT(!contains(line));
   Evicted out;
   // Victim = LRU way (back). If any way is invalid the set is not full; use
   // the last slot either way since invalid ways sink to the back on
   // invalidate().
-  const Way& victim = set[assoc_ - 1];
-  if (victim.valid) {
+  const std::uint64_t vt = tags[assoc_ - 1];
+  if (vt != 0) {
     out.valid = true;
-    out.line = victim.line;
-    out.dirty = victim.dirty;
-    out.holders = victim.holders;
+    out.line = vt >> 1;
+    out.dirty = meta[assoc_ - 1].dirty != 0;
+    out.holders = meta[assoc_ - 1].holders;
     --resident_;
   }
-  for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
-  set[0] = Way{line, true, dirty, 0, flags};
+  for (std::uint32_t i = assoc_ - 1; i > 0; --i) {
+    tags[i] = tags[i - 1];
+    meta[i] = meta[i - 1];
+  }
+  tags[0] = key_of(line);
+  meta[0] = Meta{0, static_cast<std::uint8_t>(dirty ? 1 : 0), flags};
   ++resident_;
   ++generation_;
   return out;
@@ -63,107 +66,100 @@ Cache::Evicted Cache::fill(std::uint64_t line, bool dirty,
 
 bool Cache::fill_if_absent(std::uint64_t line, bool dirty, Evicted* evicted,
                            std::uint8_t flags) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      Way hit = set[w];
-      hit.dirty = hit.dirty || dirty;
-      for (std::uint32_t i = w; i > 0; --i) set[i] = set[i - 1];
-      set[0] = hit;
-      *evicted = Evicted{};
-      return false;
-    }
+  const std::uint64_t set = set_index(line);
+  std::uint64_t* tags = tags_at(set);
+  Meta* meta = meta_at(set);
+  const int w = find_way(tags, key_of(line));
+  if (w >= 0) {
+    if (dirty) meta[w].dirty = 1;
+    if (w > 0) rotate_to_front(tags, meta, static_cast<std::uint32_t>(w));
+    *evicted = Evicted{};
+    return false;
   }
-  const Way& victim = set[assoc_ - 1];
   *evicted = Evicted{};
-  if (victim.valid) {
+  const std::uint64_t vt = tags[assoc_ - 1];
+  if (vt != 0) {
     evicted->valid = true;
-    evicted->line = victim.line;
-    evicted->dirty = victim.dirty;
-    evicted->holders = victim.holders;
+    evicted->line = vt >> 1;
+    evicted->dirty = meta[assoc_ - 1].dirty != 0;
+    evicted->holders = meta[assoc_ - 1].holders;
     --resident_;
   }
-  for (std::uint32_t i = assoc_ - 1; i > 0; --i) set[i] = set[i - 1];
-  set[0] = Way{line, true, dirty, 0, flags};
+  for (std::uint32_t i = assoc_ - 1; i > 0; --i) {
+    tags[i] = tags[i - 1];
+    meta[i] = meta[i - 1];
+  }
+  tags[0] = key_of(line);
+  meta[0] = Meta{0, static_cast<std::uint8_t>(dirty ? 1 : 0), flags};
   ++resident_;
   ++generation_;
   return true;
 }
 
 bool Cache::set_flags(std::uint64_t line, std::uint8_t flags) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      set[w].flags = flags;
-      return true;
-    }
-  }
-  return false;
+  const std::uint64_t set = set_index(line);
+  const int w = find_way(tags_at(set), key_of(line));
+  if (w < 0) return false;
+  meta_at(set)[w].flags = flags;
+  return true;
 }
 
 int Cache::mark_shared(std::uint64_t line, std::uint8_t bits,
                        std::uint8_t* old_flags) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      if (old_flags != nullptr) *old_flags = set[w].flags;
-      set[w].flags |= bits;
-      if (bits & kFlagCrossShared) set[w].flags &= ~kFlagCrossUnknown;
-      return set[w].holders;
-    }
-  }
-  return -1;
+  const std::uint64_t set = set_index(line);
+  const int w = find_way(tags_at(set), key_of(line));
+  if (w < 0) return -1;
+  Meta& m = meta_at(set)[w];
+  if (old_flags != nullptr) *old_flags = m.flags;
+  m.flags |= bits;
+  if (bits & kFlagCrossShared) m.flags &= ~kFlagCrossUnknown;
+  return m.holders;
 }
 
 bool Cache::invalidate(std::uint64_t line, bool* was_dirty,
                        std::uint16_t* holders) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      if (was_dirty != nullptr) *was_dirty = set[w].dirty;
-      if (holders != nullptr) *holders = set[w].holders;
-      // Shift the tail up so invalid ways stay at the back (LRU end).
-      for (std::uint32_t i = w; i + 1 < assoc_; ++i) set[i] = set[i + 1];
-      set[assoc_ - 1] = Way{};
-      --resident_;
-      ++generation_;
-      return true;
-    }
+  const std::uint64_t set = set_index(line);
+  std::uint64_t* tags = tags_at(set);
+  const int w = find_way(tags, key_of(line));
+  if (w < 0) return false;
+  Meta* meta = meta_at(set);
+  if (was_dirty != nullptr) *was_dirty = meta[w].dirty != 0;
+  if (holders != nullptr) *holders = meta[w].holders;
+  // Shift the tail up so invalid ways stay at the back (LRU end).
+  for (std::uint32_t i = static_cast<std::uint32_t>(w); i + 1 < assoc_; ++i) {
+    tags[i] = tags[i + 1];
+    meta[i] = meta[i + 1];
   }
-  return false;
+  tags[assoc_ - 1] = 0;
+  meta[assoc_ - 1] = Meta{};
+  --resident_;
+  ++generation_;
+  return true;
 }
 
 std::uint16_t Cache::set_holder_bit(std::uint64_t line, std::uint32_t bit) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) {
-      const std::uint16_t old = set[w].holders;
-      set[w].holders = old | static_cast<std::uint16_t>(1u << bit);
-      return old;
-    }
-  }
-  SBS_CHECK_MSG(false, "set_holder_bit on a non-resident line (inclusion)");
-  return 0;
+  const std::uint64_t set = set_index(line);
+  const int w = find_way(tags_at(set), key_of(line));
+  SBS_CHECK_MSG(w >= 0, "set_holder_bit on a non-resident line (inclusion)");
+  Meta& m = meta_at(set)[w];
+  const std::uint16_t old = m.holders;
+  m.holders = old | static_cast<std::uint16_t>(1u << bit);
+  return old;
 }
 
 std::uint16_t* Cache::holder_mask(std::uint64_t line) {
-  Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) return &set[w].holders;
-  }
-  return nullptr;
+  const std::uint64_t set = set_index(line);
+  const int w = find_way(tags_at(set), key_of(line));
+  return w < 0 ? nullptr : &meta_at(set)[w].holders;
 }
 
 bool Cache::contains(std::uint64_t line) const {
-  const Way* set = set_begin(set_index(line));
-  for (std::uint32_t w = 0; w < assoc_; ++w) {
-    if (set[w].valid && set[w].line == line) return true;
-  }
-  return false;
+  return find_way(tags_at(set_index(line)), key_of(line)) >= 0;
 }
 
 void Cache::clear() {
-  std::fill(ways_.begin(), ways_.end(), Way{});
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(meta_.begin(), meta_.end(), Meta{});
   resident_ = 0;
   ++generation_;
 }

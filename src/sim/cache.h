@@ -5,8 +5,16 @@
 // assoc small (≤ 32 in the presets). assoc == 0 in the machine config means
 // fully associative, realized as a single set with size/line ways (only
 // sensible for the small test caches).
+//
+// Storage is structure-of-arrays: the probe loop scans a packed tag word
+// per way — (line << 1) | valid — so a whole set's tags sit in one or two
+// host cache lines, and the cold per-way metadata (dirty / sharing flags /
+// holder mask) lives in a parallel array touched only on hits and fills.
+// An invalid way's tag word is 0, which can never equal a probe key (keys
+// always have the valid bit set), so the scan needs no separate valid test.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -67,10 +75,10 @@ class Cache {
   // superset — bits are set on child fills and cleared lazily when a sweep
   // verifies absence, so capacity evictions in a child leave a stale bit
   // behind until the next sweep). Coherence sweeps use it to probe only
-  // plausible holders instead of every child. Fits in the Way's padding, so
-  // it costs no memory; caches whose children are hardware threads simply
-  // never have bits set. Neither call moves the LRU order or bumps the
-  // generation — they are directory metadata, not accesses.
+  // plausible holders instead of every child. Lives in the cold metadata
+  // array; caches whose children are hardware threads simply never have
+  // bits set. Neither call moves the LRU order or bumps the generation —
+  // they are directory metadata, not accesses.
 
   /// Mark child `bit` as holding `line`. The line must be resident (the
   /// hierarchy is inclusive: a child fill implies the parent holds it).
@@ -82,6 +90,14 @@ class Cache {
   std::uint16_t* holder_mask(std::uint64_t line);
 
   bool contains(std::uint64_t line) const;
+
+  /// Hint the host prefetcher at the set `line` maps to. The big outer
+  /// caches' tag arrays dwarf the host cache, so a probe is one guaranteed
+  /// host miss; issuing the loads for every level up front lets the
+  /// otherwise serial inner-to-outer probe chain overlap them.
+  void prefetch(std::uint64_t line) const {
+    __builtin_prefetch(tags_at(set_index(line)));
+  }
 
   std::uint64_t size_bytes() const { return size_bytes_; }
   std::uint32_t line_bytes() const { return line_bytes_; }
@@ -99,14 +115,14 @@ class Cache {
   void clear();
 
  private:
-  struct Way {
-    std::uint64_t line = 0;
-    bool valid = false;
-    bool dirty = false;
-    std::uint16_t holders = 0;  ///< child holder mask (see above); lives in
-                                ///< what would otherwise be padding
-    std::uint8_t flags = 0;     ///< sharing flags (kFlag*); also padding
+  /// Cold per-way metadata, parallel to tags_ and shifted in lockstep.
+  struct Meta {
+    std::uint16_t holders = 0;  ///< child holder mask (see above)
+    std::uint8_t dirty = 0;
+    std::uint8_t flags = 0;  ///< sharing flags (kFlag*)
   };
+
+  static std::uint64_t key_of(std::uint64_t line) { return (line << 1) | 1; }
 
   std::uint64_t set_index(std::uint64_t line) const {
     // Lines are full addresses >> line shift; spread with a multiplicative
@@ -115,12 +131,36 @@ class Cache {
     return (h >> 32) & (num_sets_ - 1);
   }
 
-  Way* set_begin(std::uint64_t set) {
-    return ways_.data() + set * assoc_;
+  /// Index of `line` within its set, or -1. The hot loop: a straight scan
+  /// over packed tag words with early exit (hits cluster near the MRU
+  /// front; a branch-free whole-set scan measured slower).
+  int find_way(const std::uint64_t* tags, std::uint64_t key) const {
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+      if (tags[w] == key) return static_cast<int>(w);
+    }
+    return -1;
   }
-  const Way* set_begin(std::uint64_t set) const {
-    return ways_.data() + set * assoc_;
+
+  /// Rotate way `w` of a set to MRU (front), shifting [0, w) down by one.
+  static void rotate_to_front(std::uint64_t* tags, Meta* meta,
+                              std::uint32_t w) {
+    const std::uint64_t tag = tags[w];
+    const Meta m = meta[w];
+    for (std::uint32_t i = w; i > 0; --i) {
+      tags[i] = tags[i - 1];
+      meta[i] = meta[i - 1];
+    }
+    tags[0] = tag;
+    meta[0] = m;
   }
+
+  std::uint64_t* tags_at(std::uint64_t set) {
+    return tags_.data() + set * assoc_;
+  }
+  const std::uint64_t* tags_at(std::uint64_t set) const {
+    return tags_.data() + set * assoc_;
+  }
+  Meta* meta_at(std::uint64_t set) { return meta_.data() + set * assoc_; }
 
   std::uint64_t size_bytes_;
   std::uint32_t line_bytes_;
@@ -128,7 +168,8 @@ class Cache {
   std::uint64_t num_sets_;
   std::uint64_t resident_ = 0;
   std::uint64_t generation_ = 0;
-  std::vector<Way> ways_;  ///< num_sets_ * assoc_, each set in LRU order
+  std::vector<std::uint64_t> tags_;  ///< num_sets_*assoc_, (line<<1)|valid
+  std::vector<Meta> meta_;           ///< parallel to tags_
 };
 
 }  // namespace sbs::sim

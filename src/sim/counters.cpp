@@ -16,6 +16,12 @@ std::string Counters::summary() const {
   out << " dram_reads=" << dram_reads << " writebacks=" << dram_writebacks
       << " remote=" << remote_dram_accesses
       << " queue_wait=" << queue_wait_cycles;
+  if (windows_executed != 0 || fiber_switches != 0) {
+    out << " engine{windows=" << windows_executed
+        << " merges=" << window_merges << " pump_passes=" << pump_passes
+        << " fiber_switches=" << fiber_switches
+        << " inline_strands=" << inline_strands << "}";
+  }
   return out.str();
 }
 
@@ -34,6 +40,11 @@ Counters& Counters::operator+=(const Counters& other) {
   queue_wait_cycles += other.queue_wait_cycles;
   accesses += other.accesses;
   writes += other.writes;
+  fiber_switches += other.fiber_switches;
+  windows_executed += other.windows_executed;
+  window_merges += other.window_merges;
+  pump_passes += other.pump_passes;
+  inline_strands += other.inline_strands;
   return *this;
 }
 

@@ -34,6 +34,33 @@ struct Counters {
   std::uint64_t accesses = 0;              ///< total line requests
   std::uint64_t writes = 0;
 
+  // Engine-overhead counters (filled by SimEngine, not the memory system):
+  // how much host work the simulation spent on machinery rather than cache
+  // modeling. None of these affect simulated time.
+  std::uint64_t fiber_switches = 0;    ///< strand resume/yield round trips
+  std::uint64_t windows_executed = 0;  ///< bounded-skew windows run
+  std::uint64_t window_merges = 0;     ///< barriers that did a real merge
+  std::uint64_t pump_passes = 0;       ///< scheduler-pump iterations
+  std::uint64_t inline_strands = 0;    ///< strands run on the pump, no fiber
+
+  /// Zero every counter without releasing the level vector (the per-shard
+  /// window deltas are cleared once per window — reallocating them there
+  /// showed up in profiles).
+  void clear() {
+    for (LevelCounters& lc : level) lc = LevelCounters{};
+    dram_reads = 0;
+    dram_writebacks = 0;
+    remote_dram_accesses = 0;
+    queue_wait_cycles = 0;
+    accesses = 0;
+    writes = 0;
+    fiber_switches = 0;
+    windows_executed = 0;
+    window_merges = 0;
+    pump_passes = 0;
+    inline_strands = 0;
+  }
+
   /// Misses at the outermost cache level — the paper's headline metric
   /// ("L3 cache misses" on the Xeon preset).
   std::uint64_t llc_misses() const {

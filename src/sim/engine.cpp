@@ -23,20 +23,28 @@ struct SimEngine::VCore final : mem::AccessSink {
   VCore(SimEngine* eng, int thread_id) : engine(eng), tid(thread_id) {}
 
   // --- AccessSink (called from inside the fiber) ---
+  // Run-ahead batching: a strand yields only *before* an access that has to
+  // touch real simulated state (cache sets, links, coherence) once its
+  // clock has left the window. Memo-absorbed accesses and work() are
+  // shard-private and invisible to every other core, so the strand keeps
+  // running through them — on streaming kernels this lets whole strands
+  // finish in a single resume instead of one fiber round trip per window.
+  // The gate reads only the frozen window horizon and the core's own memo
+  // state, so the decision is identical for every host_threads value.
   void touch(std::uintptr_t addr, std::uint64_t bytes, bool write) override {
+    if (clock > engine->horizon_ &&
+        !engine->memory_->would_absorb(tid, addr, write)) {
+      // The access runs after resumption, in the window it is visible in.
+      Fiber::yield();
+    }
     const std::uint64_t cost =
         engine->memory_->access_range(tid, addr, bytes, write, clock);
     clock += cost;
     active_cy += cost;
-    maybe_yield();
   }
   void work(std::uint64_t cycles) override {
     clock += cycles;
     active_cy += cycles;
-    maybe_yield();
-  }
-  void maybe_yield() {
-    if (clock > engine->horizon_) Fiber::yield();
   }
   // Mid-strand mem::Array allocations draw from this core's transient arena
   // stream, so their simulated addresses are deterministic (see mem.h).
@@ -75,7 +83,28 @@ struct SimEngine::VCore final : mem::AccessSink {
                 empty_cy = 0;
   std::uint64_t strands = 0;
   std::uint64_t empty_wakeups = 0;
+
+  /// Fiber::resumes() at run start (fibers persist across runs).
+  std::uint64_t fiber_resumes_base = 0;
 };
+
+namespace {
+/// Installed while an inline_runnable strand executes on the pump: such
+/// strands promised to touch no simulated memory and do no simulated work,
+/// and this sink turns a broken promise into a hard failure instead of a
+/// silent timing divergence.
+struct PoisonSink final : mem::AccessSink {
+  void touch(std::uintptr_t, std::uint64_t, bool) override {
+    SBS_CHECK_MSG(false,
+                  "inline_runnable job touched simulated memory on the pump");
+  }
+  void work(std::uint64_t) override {
+    SBS_CHECK_MSG(false,
+                  "inline_runnable job did simulated work on the pump");
+  }
+  int stream_id() const override { return -1; }
+};
+}  // namespace
 
 SimEngine::SimEngine(const machine::Topology& topo, SimParams params)
     : topo_(topo), params_(params) {
@@ -227,7 +256,12 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
     core->strands = 0;
     core->empty_wakeups = 0;
     core->pending_finish = false;
+    core->fiber_resumes_base = core->fiber ? core->fiber->resumes() : 0;
   }
+  windows_since_merge_ = 0;
+  coalesce_limit_ = 1;
+  windows_executed_ = pump_passes_ = window_merges_ = inline_strands_run_ = 0;
+  inline_done_.clear();
   runtime::JobArena::Scope arena_scope(arenas_[0].get());
 
   sched.start(topo_, num_threads_);
@@ -260,9 +294,11 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
     return a->clock < b->clock || (a->clock == b->clock && a->tid < b->tid);
   };
 
+  PoisonSink poison;
   std::uint64_t completion_clock = 0;
   std::uint64_t consecutive_empty = 0;
   while (!root_completed_) {
+    ++pump_passes_;
     // Window = [min clock, min clock + quantum] over every core.
     busy_min_ = std::numeric_limits<std::uint64_t>::max();
     for (const auto& list : shard_busy_)
@@ -297,7 +333,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       }
       const std::uint64_t ops0 = sched::ops_snapshot();
       Job* job = sched.get(core.tid);
-      const std::uint64_t cy = charge_ops(ops0);
+      std::uint64_t cy = charge_ops(ops0);
       if (rec) {
         rec->record(core.tid, EventKind::kGetEnd, core.clock + cy, 0,
                     job != nullptr ? 1 : 0);
@@ -336,11 +372,41 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       core.strand_done = false;
       core.busy = true;
       core.strand_start_clock = core.clock;
+      if (params_.inline_strands && core.clock <= horizon_ &&
+          job->inline_runnable()) {
+        // Pure-control strand (e.g. an empty join continuation): execute it
+        // right here on the pump stack — no fiber, no window-phase pass.
+        // Timing is identical to the fiber path: the strand touches nothing,
+        // so its clock is unchanged, and its completion is deferred to the
+        // barrier (where the fiber path would collect it) so this pump pass
+        // cannot pop it early. The horizon guard keeps the equivalence when
+        // the get() charge pushed the clock past the window: the fiber path
+        // would not run such a strand until a later window, so it must not
+        // be inlined now.
+        {
+          mem::SinkScope sink(&poison);
+          job->execute(*core.strand);
+        }
+        core.strand_done = true;
+        ++inline_strands_run_;
+        inline_done_.push_back(&core);
+        busy_min_ = std::min(busy_min_, core.clock);
+        continue;
+      }
       core.ensure_fiber(params_.fiber_stack_bytes);
       shard_busy_[static_cast<std::size_t>(core.shard)].push_back(&core);
       busy_min_ = std::min(busy_min_, core.clock);
     }
     if (root_completed_) break;
+
+    // Inline-run strands complete at the barrier, exactly like fiber-run
+    // ones. (Heap order is by value, so push order next to the fiber-path
+    // pushes below is immaterial.)
+    for (VCore* core : inline_done_) {
+      core->pending_finish = true;
+      heap_push(core->clock, core->tid);
+    }
+    inline_done_.clear();
 
     bool any_busy = false;
     for (auto& list : shard_busy_) {
@@ -349,6 +415,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       std::sort(list.begin(), list.end(), by_clock_tid);
     }
     if (!any_busy) continue;
+    ++windows_executed_;
 
     // Window phase: run every busy core to the horizon, shards spread over
     // the host workers (each shard's cores on exactly one worker).
@@ -380,9 +447,37 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
       }
       list.resize(keep);
     }
+
+    // Adaptive windows: while every window since the last merge was quiet
+    // (no cross-shard coherence, no sharing-directory traffic, no link
+    // bandwidth), the merge would be an identity apart from folding counter
+    // deltas — defer it, doubling the merge-free budget each time a full
+    // budget passes without contact, and collapse back to one window on
+    // contact. The decision reads only simulation-determined shard state,
+    // so it is identical for every host_threads value, and eliding an
+    // identity barrier cannot change results — makespan and all memory
+    // counters stay bit-identical to adaptive_window=false.
+    ++windows_since_merge_;
+    if (params_.adaptive_window && memory_->window_quiet() &&
+        windows_since_merge_ < coalesce_limit_) {
+      continue;  // barrier elided
+    }
+    if (params_.adaptive_window) {
+      if (memory_->window_quiet()) {
+        // A whole budget of quiet windows: widen geometrically (bounded so
+        // counter deltas cannot go stale without limit).
+        coalesce_limit_ = std::min(coalesce_limit_ * 2, kCoalesceCap);
+      } else {
+        coalesce_limit_ = 1;
+      }
+    }
+    windows_since_merge_ = 0;
+    ++window_merges_;
     memory_->merge_window();
   }
 
+  SBS_CHECK_MSG(inline_done_.empty(),
+                "root completed while an inline strand awaited settle");
   for (const auto& list : shard_busy_)
     SBS_CHECK_MSG(list.empty(),
                   "root completed while a strand was still running");
@@ -395,6 +490,15 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
   SimResult result;
   result.makespan_cycles = completion_clock;
   result.counters = memory_->counters();
+  result.counters.windows_executed = windows_executed_;
+  result.counters.pump_passes = pump_passes_;
+  result.counters.window_merges = window_merges_;
+  result.counters.inline_strands = inline_strands_run_;
+  for (const auto& core : cores_) {
+    if (core->fiber)
+      result.counters.fiber_switches +=
+          core->fiber->resumes() - core->fiber_resumes_base;
+  }
   result.sched_stats = sched.stats_string();
   const double hz = topo_.config().ghz * 1e9;
   result.stats.wall_s = static_cast<double>(completion_clock) / hz;

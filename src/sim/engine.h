@@ -60,6 +60,20 @@ struct SimParams {
   /// Host threads executing window phases; clamped to the machine's socket
   /// count. Results are identical for every value (see file comment).
   int host_threads = 1;
+  /// Adaptive windows: elide the window-merge barrier while windows stay
+  /// "quiet" (no cross-shard coherence traffic, no link bandwidth use),
+  /// geometrically widening the merge-free run and shrinking back to one
+  /// window on contact. A quiet merge is an identity apart from folding
+  /// counter deltas (which is commutative), and the elision decision reads
+  /// only simulation-determined state, so results are bit-identical to the
+  /// fixed-quantum baseline — the equivalence tests assert it.
+  bool adaptive_window = true;
+  /// Run inline-runnable strands (e.g. empty join continuations, see
+  /// runtime::Job::inline_runnable) directly on the pump with no fiber
+  /// switch. Bit-identical to the fiber path: such strands touch no
+  /// simulated state, and the pump defers their completion to the same
+  /// barrier the fiber path uses.
+  bool inline_strands = true;
 };
 
 struct SimResult {
@@ -120,6 +134,22 @@ class SimEngine {
   /// on the worker running their shard, the pump's settle() frees remotely.
   std::vector<std::unique_ptr<runtime::JobArena>> arenas_;
   std::uint64_t horizon_ = 0;  ///< yield threshold for running fibers
+
+  // Adaptive-window state (SimParams::adaptive_window).
+  std::uint64_t windows_since_merge_ = 0;
+  std::uint64_t coalesce_limit_ = 1;  ///< merge-free window budget
+  static constexpr std::uint64_t kCoalesceCap = 4096;
+
+  // Engine-overhead counters for the current run (folded into
+  // SimResult::counters; see counters.h).
+  std::uint64_t windows_executed_ = 0;
+  std::uint64_t pump_passes_ = 0;
+  std::uint64_t window_merges_ = 0;
+  std::uint64_t inline_strands_run_ = 0;
+
+  /// Strands the pump ran inline this window; their completions are pushed
+  /// to the heap at the barrier, exactly when the fiber path would.
+  std::vector<VCore*> inline_done_;
 
   /// Min-heap of (clock, thread id) over idle and pending-finish cores;
   /// busy cores live in shard_busy_ instead.

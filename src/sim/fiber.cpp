@@ -75,6 +75,7 @@ void Fiber::resume() {
   SBS_CHECK_MSG(!finished_, "resume() on a finished fiber");
   SBS_CHECK_MSG(tl_current == nullptr, "resume() from inside a fiber");
   started_ = true;
+  ++resumes_;
   tl_current = this;
   sbs_fiber_swap(&main_sp_, fiber_sp_);
   tl_current = nullptr;
@@ -127,6 +128,7 @@ void Fiber::resume() {
   SBS_CHECK_MSG(!finished_, "resume() on a finished fiber");
   SBS_CHECK_MSG(tl_current == nullptr, "resume() from inside a fiber");
   started_ = true;
+  ++resumes_;
   tl_current = this;
   swapcontext(static_cast<ucontext_t*>(main_context_),
               static_cast<ucontext_t*>(context_));

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace sbs::sim {
@@ -40,6 +41,12 @@ class Fiber {
   /// True once fn has returned; resume() must not be called again.
   bool finished() const { return finished_; }
 
+  /// Number of resume() calls so far. Each resume is one host context
+  /// switch in and one out; the engine aggregates these into the
+  /// `fiber_switches` overhead counter. Counted per fiber (not per host
+  /// thread) so sharded parallel execution sums them deterministically.
+  std::uint64_t resumes() const { return resumes_; }
+
   /// Mark a suspended fiber as abandoned so it can be destroyed without
   /// resuming (used for per-core fibers that loop forever by design; their
   /// stacks hold nothing that needs unwinding at teardown).
@@ -56,6 +63,7 @@ class Fiber {
   void* main_sp_ = nullptr;
   bool finished_ = false;
   bool started_ = false;
+  std::uint64_t resumes_ = 0;
 #if !SBS_ASM_FIBERS
   static void entry_thunk();      // reads the fiber from thread-local state
   void* context_ = nullptr;       // ucontext_t of the fiber

@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/assert.h"
@@ -74,7 +75,8 @@ class FlatMap {
       const bool wraps = hole <= j ? (home <= hole || home > j)
                                    : (home <= hole && home > j);
       if (wraps) {
-        slots_[hole] = slots_[j];
+        slots_[hole] = std::move(slots_[j]);
+        slots_[j] = Slot{};
         hole = j;
       }
       j = next(j);
@@ -119,7 +121,7 @@ class FlatMap {
     slots_.assign(old.size() * 2, Slot{});
     size_ = 0;
     for (auto& slot : old) {
-      if (slot.key != 0) (*this)[slot.key] = slot.value;
+      if (slot.key != 0) (*this)[slot.key] = std::move(slot.value);
     }
   }
 

@@ -9,7 +9,7 @@ namespace sbs::sim {
 
 namespace {
 constexpr int kMaxCacheDepth = 7;  // ThreadInfo path arrays have 8 slots
-constexpr int kMaxShards = 64;     // sharing_ mask is one uint64_t
+constexpr int kMaxShards = SocketSet::kMaxSockets;
 }  // namespace
 
 MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
@@ -45,7 +45,7 @@ MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
   const std::vector<int> sockets = topo.nodes_at_depth(1);
   const int n_shards = static_cast<int>(sockets.size());
   SBS_CHECK_MSG(n_shards >= 1 && n_shards <= kMaxShards,
-                "simulator supports 1..64 sockets");
+                "simulator supports 1..1024 sockets");
   const int first_socket_id = sockets.front();
   socket_node_.assign(sockets.begin(), sockets.end());
 
@@ -150,26 +150,6 @@ inline void shrink_range(std::uint64_t line, std::uint64_t* lo,
 }
 }  // namespace
 
-void MemorySystem::extend_streak(RangeMemo& rm, std::uint64_t line,
-                                 bool write) {
-  const std::uint8_t w = write ? 1 : 0;
-  if (line == rm.cand_hi && w == rm.cand_wrote && rm.cand_lo != rm.cand_hi) {
-    ++rm.cand_hi;
-  } else {
-    rm.cand_lo = line;
-    rm.cand_hi = line + 1;
-    rm.cand_wrote = w;
-  }
-  // `>=` (not `>`) so a same-length re-sweep that upgrades read→write can
-  // displace the clean run with a known-dirty one.
-  if (rm.cand_hi - rm.cand_lo >= kRangePromoteLen &&
-      rm.cand_hi - rm.cand_lo >= rm.hi - rm.lo) {
-    rm.lo = rm.cand_lo;
-    rm.hi = rm.cand_hi;
-    rm.wrote = rm.cand_wrote;
-  }
-}
-
 void MemorySystem::memo_drop(int inner_node, std::uint64_t line) {
   const int first = inner_first_thread_[static_cast<std::size_t>(inner_node)];
   const int cnt = inner_thread_count_[static_cast<std::size_t>(inner_node)];
@@ -242,16 +222,16 @@ std::uint8_t MemorySystem::outer_fill_flags(Shard& sh, int shard,
     sh.sd_delta.push_back(SdDelta{line, shard, true});
     return Cache::kFlagCrossUnknown;
   }
-  std::uint64_t& mask = sharing_[line];
-  const std::uint64_t others = mask & ~(1ull << shard);
-  mask |= 1ull << shard;
-  if (others == 0) return 0;
+  SocketSet& holders = sharing_[line];
+  const bool others = holders.any_other(shard);
+  holders.set(shard);
+  if (!others) return 0;
   // We join existing holders: their copies — possibly marked exclusive —
   // are now shared, and so are ours.
-  for (std::uint64_t m = others; m != 0; m &= m - 1) {
-    share_socket(std::countr_zero(m), line, Cache::kFlagCrossShared,
+  holders.for_each_other(shard, [&](int other) {
+    share_socket(other, line, Cache::kFlagCrossShared,
                  Cache::kFlagCrossShared | Cache::kFlagCrossUnknown);
-  }
+  });
   return Cache::kFlagCrossShared;
 }
 
@@ -261,47 +241,25 @@ void MemorySystem::note_outer_evict(Shard& sh, int shard,
   if (windowed_) {
     sh.sd_delta.push_back(SdDelta{line, shard, false});
   } else {
-    std::uint64_t* mask = sharing_.find(line);
-    if (mask != nullptr) {
-      *mask &= ~(1ull << shard);
-      if (*mask == 0) sharing_.erase(line);
+    SocketSet* holders = sharing_.find(line);
+    if (holders != nullptr) {
+      holders->reset(shard);
+      if (holders->none()) sharing_.erase(line);
     }
   }
 }
 
-std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
-                                   bool write, std::uint64_t now) {
-  const std::uint64_t line = addr >> line_shift_;
-  ThreadInfo& ti = tinfo_[static_cast<std::size_t>(thread_id)];
+std::uint64_t MemorySystem::access_slow(ThreadInfo& ti, Counters& ctr,
+                                        int thread_id, std::uint64_t line,
+                                        bool write, std::uint64_t now) {
   Shard& sh = *shards_[static_cast<std::size_t>(ti.shard)];
-  Counters& ctr = *sh.ctr;
-  ++ctr.accesses;
-  if (write) ++ctr.writes;
 
-  // Fast path: repeat access to a recently-touched line — no set scan, no
-  // coherence work. The memos are precise (see memo_drop), so a match
-  // proves residency; the range memo covers re-swept buffers, the per-line
-  // ways cover interleaved read/write streams.
-  if (memo_enabled_) {
-    // The direct-mapped slot is checked first: on the sort kernels it
-    // absorbs the overwhelming majority of accesses (every element touch
-    // after the first on a line), while whole-buffer range hits are rare.
-    RangeMemo& rm = range_memo_[static_cast<std::size_t>(thread_id)];
-    const std::size_t slot = line & (kMemoSlots - 1);
-    const std::uint64_t e = memo_[static_cast<std::size_t>(thread_id)]
-                                .entry[slot];
-    if ((e >> 1) == line && (!write || (e & 1) != 0)) {
-      // A memo hit still proves residency, so let it feed the stream
-      // detector — otherwise recently-touched lines punch holes in the
-      // streak and starve range promotion.
-      extend_streak(rm, line, write);
-      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
-      return ti.hit_cycles[0];
-    }
-    if (line >= rm.lo && line < rm.hi && (!write || rm.wrote != 0)) {
-      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
-      return ti.hit_cycles[0];
-    }
+  // Start the outermost level's tag load now: its array is far larger than
+  // the host cache, so by the time the inner probes miss, the line the L-1
+  // probe needs is already in flight. (Inner tag arrays are small enough to
+  // stay host-resident — prefetching them measured as pure overhead.)
+  if (ti.path_len > 1) {
+    ti.cache[static_cast<std::size_t>(ti.path_len - 1)]->prefetch(line);
   }
 
   // Probe inside-out. Dirtiness is tracked at the innermost level holding
@@ -354,6 +312,7 @@ std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
                 static_cast<std::uint64_t>(transfer_cycles_);
     sh.link_used[static_cast<std::size_t>(home)] +=
         static_cast<std::uint64_t>(transfer_cycles_);
+    sh.link_touched = true;
     ctr.queue_wait_cycles += wait;
     ++ctr.dram_reads;
 
@@ -397,12 +356,10 @@ std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
   return cost;
 }
 
-std::uint64_t MemorySystem::access_range(int thread_id, std::uint64_t addr,
-                                         std::uint64_t bytes, bool write,
-                                         std::uint64_t now) {
-  if (bytes == 0) return 0;
-  const std::uint64_t first = addr >> line_shift_;
-  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+std::uint64_t MemorySystem::access_range_multi(int thread_id,
+                                               std::uint64_t first,
+                                               std::uint64_t last, bool write,
+                                               std::uint64_t now) {
   if (memo_enabled_) {
     // Whole-range absorb: a re-sweep of a buffer the range memo proves
     // innermost-resident is one compare and a bulk counter update.
@@ -537,6 +494,7 @@ void MemorySystem::handle_eviction(Shard& sh, int node_id,
                   static_cast<std::uint64_t>(transfer_cycles_);
       sh.link_used[static_cast<std::size_t>(home)] +=
           static_cast<std::uint64_t>(transfer_cycles_);
+      sh.link_touched = true;
       ++ctr.dram_writebacks;
     }
   } else if (dirty) {
@@ -614,18 +572,13 @@ void MemorySystem::write_invalidate(const ThreadInfo& ti, Shard& sh,
     sh.outbox.push_back(InvalEvent{line, ti.shard});
     return;
   }
-  std::uint64_t* sd = sharing_.find(line);
+  SocketSet* sd = sharing_.find(line);
   if (sd == nullptr) return;
-  const std::uint64_t others = *sd & ~(1ull << ti.shard);
-  if (others == 0) return;
-  std::uint64_t mask = others;
-  while (mask != 0) {
-    const int victim = std::countr_zero(mask);
-    mask &= mask - 1;
-    apply_remote_invalidate(victim, line);
-  }
-  *sd &= ~others;
-  if (*sd == 0) sharing_.erase(line);
+  if (!sd->any_other(ti.shard)) return;
+  sd->for_each_other(ti.shard,
+                     [&](int victim) { apply_remote_invalidate(victim, line); });
+  sd->clear_others(ti.shard);
+  if (sd->none()) sharing_.erase(line);
 }
 
 bool MemorySystem::apply_remote_invalidate(int victim_shard,
@@ -653,14 +606,15 @@ void MemorySystem::set_windowed(bool on) {
   for (auto& shp : shards_) {
     Shard& sh = *shp;
     if (on) {
-      sh.delta = Counters{};
       sh.delta.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+      sh.delta.clear();
       sh.ctr = &sh.delta;
       sh.link_view.assign(socket_next_free_.begin(), socket_next_free_.end());
       std::fill(sh.link_used.begin(), sh.link_used.end(), 0);
       sh.links = sh.link_view.data();
       sh.outbox.clear();
       sh.sd_delta.clear();
+      sh.link_touched = false;
     } else {
       sh.ctr = &counters_;
       sh.links = socket_next_free_.data();
@@ -670,10 +624,13 @@ void MemorySystem::set_windowed(bool on) {
 
 void MemorySystem::merge_window() {
   // 1. Counter deltas (before any barrier-time events charge counters_).
+  //    Every delta-mutating path starts by bumping `accesses`, so a shard
+  //    with none folded nothing — skip it (huge machines run many windows
+  //    where most shards are idle).
   for (auto& shp : shards_) {
+    if (shp->delta.accesses == 0) continue;
     counters_ += shp->delta;
-    shp->delta = Counters{};
-    shp->delta.level.resize(static_cast<std::size_t>(topo_.leaf_depth()));
+    shp->delta.clear();
   }
   // 2. Sharing-directory deltas, in shard order: after this, sharing_
   //    reflects end-of-window outermost-cache residency. A fill that joins
@@ -688,25 +645,24 @@ void MemorySystem::merge_window() {
       if (k + 8 < n) sharing_.prefetch(shp->sd_delta[k + 8].line);
       const SdDelta& d = shp->sd_delta[k];
       if (d.fill) {
-        std::uint64_t& mask = sharing_[d.line];
-        const std::uint64_t others = mask & ~(1ull << d.shard);
-        mask |= 1ull << d.shard;
-        if (others != 0) {
+        SocketSet& holders = sharing_[d.line];
+        const bool others = holders.any_other(d.shard);
+        holders.set(d.shard);
+        if (others) {
           // The other holders — possibly marked exclusive — learn of the
           // join. The filler's own ways are fresh cross-unknown fills and
           // already behave conservatively, so only the others need a walk,
           // and it short-circuits at any already-non-exclusive root.
-          for (std::uint64_t m = others; m != 0; m &= m - 1) {
-            share_socket(std::countr_zero(m), d.line,
-                         Cache::kFlagCrossShared,
+          holders.for_each_other(d.shard, [&](int other) {
+            share_socket(other, d.line, Cache::kFlagCrossShared,
                          Cache::kFlagCrossShared | Cache::kFlagCrossUnknown);
-          }
+          });
         }
       } else {
-        std::uint64_t* mask = sharing_.find(d.line);
-        if (mask != nullptr) {
-          *mask &= ~(1ull << d.shard);
-          if (*mask == 0) sharing_.erase(d.line);
+        SocketSet* holders = sharing_.find(d.line);
+        if (holders != nullptr) {
+          holders->reset(d.shard);
+          if (holders->none()) sharing_.erase(d.line);
         }
       }
     }
@@ -719,17 +675,13 @@ void MemorySystem::merge_window() {
     for (std::size_t k = 0; k < n; ++k) {
       if (k + 8 < n) sharing_.prefetch(shp->outbox[k + 8].line);
       const InvalEvent& ev = shp->outbox[k];
-      std::uint64_t* sd = sharing_.find(ev.line);
+      SocketSet* sd = sharing_.find(ev.line);
       if (sd == nullptr) continue;
-      std::uint64_t mask = *sd & ~(1ull << ev.writer_shard);
-      const std::uint64_t cleared = mask;
-      while (mask != 0) {
-        const int victim = std::countr_zero(mask);
-        mask &= mask - 1;
+      sd->for_each_other(ev.writer_shard, [&](int victim) {
         apply_remote_invalidate(victim, ev.line);
-      }
-      *sd &= ~cleared;
-      if (*sd == 0) sharing_.erase(ev.line);
+      });
+      sd->clear_others(ev.writer_shard);
+      if (sd->none()) sharing_.erase(ev.line);
     }
     shp->outbox.clear();
   }
@@ -754,6 +706,7 @@ void MemorySystem::merge_window() {
     socket_next_free_[h] = next;
     for (auto& shp : shards_) shp->link_view[h] = next;
   }
+  for (auto& shp : shards_) shp->link_touched = false;
 }
 
 std::uint64_t MemorySystem::resident_lines(int node_id) const {
@@ -777,6 +730,7 @@ void MemorySystem::reset() {
     Shard& sh = *shp;
     sh.outbox.clear();
     sh.sd_delta.clear();
+    sh.link_touched = false;
     sh.delta = Counters{};
     sh.ctr = &counters_;
     sh.links = socket_next_free_.data();

@@ -86,6 +86,7 @@
 #include "sim/cache.h"
 #include "sim/counters.h"
 #include "sim/flat_map.h"
+#include "sim/socket_set.h"
 
 namespace sbs::sim {
 
@@ -105,14 +106,34 @@ class MemorySystem {
   MemorySystem(const machine::Topology& topo, MemoryParams params);
 
   /// One line-sized access by `thread_id` at virtual time `now`.
-  /// Returns the stall cycles for this access.
+  /// Returns the stall cycles for this access. The memo probe — which
+  /// absorbs the overwhelming majority of accesses on streaming kernels —
+  /// is inlined below; everything past it is out of line (access_slow).
   std::uint64_t access(int thread_id, std::uint64_t addr, bool write,
                        std::uint64_t now);
 
   /// A contiguous range access (the common fast path): iterates lines.
+  /// Single-line ranges (the usual case — one element read/write) go
+  /// straight to the inlined access().
   std::uint64_t access_range(int thread_id, std::uint64_t addr,
                              std::uint64_t bytes, bool write,
                              std::uint64_t now);
+
+  /// True when an access by `thread_id` at `addr` would be absorbed by the
+  /// memos — i.e. it would not touch cache sets, links, or cross-shard
+  /// state. The engine's run-ahead rule lets strands continue past the
+  /// window horizon over memo-absorbed accesses (they are shard-private
+  /// and cannot interact with other cores).
+  bool would_absorb(int thread_id, std::uint64_t addr, bool write) const {
+    if (!memo_enabled_) return false;
+    const std::uint64_t line = addr >> line_shift_;
+    const std::uint64_t e =
+        memo_[static_cast<std::size_t>(thread_id)].entry[line &
+                                                         (kMemoSlots - 1)];
+    if ((e >> 1) == line && (!write || (e & 1) != 0)) return true;
+    const RangeMemo& rm = range_memo_[static_cast<std::size_t>(thread_id)];
+    return line >= rm.lo && line < rm.hi && (!write || rm.wrote != 0);
+  }
 
   /// Aggregate counters. In windowed mode, complete only after the last
   /// merge_window() (per-shard deltas are folded in at barriers).
@@ -142,8 +163,24 @@ class MemorySystem {
   /// deterministic shard order, merge per-shard link views into the
   /// committed per-socket link state, and reseed the views. Single-threaded.
   void merge_window();
+  /// True when the window(s) since the last merge produced no cross-shard
+  /// traffic at all: every shard's outbox and sharing-directory delta is
+  /// empty and no shard consumed link bandwidth. A quiet merge_window()
+  /// would be an identity apart from folding counter deltas — which is
+  /// commutative and can be deferred — so the engine elides the barrier
+  /// entirely (adaptive windows, engine.h). Single-threaded.
+  bool window_quiet() const {
+    for (const auto& shp : shards_) {
+      if (!shp->outbox.empty() || !shp->sd_delta.empty() || shp->link_touched)
+        return false;
+    }
+    return true;
+  }
 
  private:
+  // Deliberately smaller than the innermost cache: memo-absorbed hits skip
+  // the LRU refresh, so an over-sized memo starves the simulated L1's
+  // recency ordering and measurably inflates downstream misses.
   static constexpr int kMemoSlots = 64;
   /// Streak length at which a contiguous run displaces the promoted range.
   static constexpr std::uint64_t kRangePromoteLen = 16;
@@ -170,6 +207,11 @@ class MemorySystem {
     std::vector<std::uint64_t> link_used;
     std::vector<InvalEvent> outbox;
     std::vector<SdDelta> sd_delta;
+    /// Any link bandwidth consumed since the last merge (DRAM read or
+    /// writeback). Part of the window_quiet() gate: link state is the one
+    /// piece of cross-shard state merge phase 4 rebuilds, so consuming any
+    /// of it forces a real barrier.
+    bool link_touched = false;
   };
 
   /// Flattened per-thread hot-path data: the root-to-leaf cache path
@@ -217,6 +259,16 @@ class MemorySystem {
   };
 
   int home_socket(std::uint64_t line) const;
+  /// access() past the memo probe: the probe loop, miss handling, and the
+  /// coherence work. `ctr` is the caller's resolved counter target.
+  std::uint64_t access_slow(ThreadInfo& ti, Counters& ctr, int thread_id,
+                            std::uint64_t line, bool write,
+                            std::uint64_t now);
+  /// access_range() for multi-line spans: whole-range absorb, then the
+  /// per-line loop.
+  std::uint64_t access_range_multi(int thread_id, std::uint64_t first,
+                                   std::uint64_t last, bool write,
+                                   std::uint64_t now);
   /// Feed a completed (residency-proving) access into the stream detector,
   /// promoting the streak into the absorbing run once long enough.
   void extend_streak(RangeMemo& rm, std::uint64_t line, bool write);
@@ -303,11 +355,85 @@ class MemorySystem {
   std::uint64_t isolated_miss_cycles_ = 0;  ///< dram_latency / mlp
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// line -> bitmask of shards whose outermost (depth-1) cache holds it.
+  /// line -> set of shards whose outermost (depth-1) cache holds it.
   /// Mutated only in immediate mode or at barriers; read-only to shards
-  /// during a window.
-  FlatMap<std::uint64_t> sharing_;
+  /// during a window. SocketSet stays a single inline word up to 64
+  /// sockets and spills per-entry above (socket_set.h).
+  FlatMap<SocketSet> sharing_;
   Counters counters_;
 };
+
+// --- inlined hot path -------------------------------------------------
+// The memo probe answers the overwhelming majority of accesses (docs/
+// PERF.md §5); keeping it in the header lets the engine's touch call
+// collapse to a few loads with no call on the absorbed path.
+
+inline void MemorySystem::extend_streak(RangeMemo& rm, std::uint64_t line,
+                                        bool write) {
+  const std::uint8_t w = write ? 1 : 0;
+  if (line == rm.cand_hi && w == rm.cand_wrote && rm.cand_lo != rm.cand_hi) {
+    ++rm.cand_hi;
+  } else {
+    rm.cand_lo = line;
+    rm.cand_hi = line + 1;
+    rm.cand_wrote = w;
+  }
+  // `>=` (not `>`) so a same-length re-sweep that upgrades read→write can
+  // displace the clean run with a known-dirty one.
+  if (rm.cand_hi - rm.cand_lo >= kRangePromoteLen &&
+      rm.cand_hi - rm.cand_lo >= rm.hi - rm.lo) {
+    rm.lo = rm.cand_lo;
+    rm.hi = rm.cand_hi;
+    rm.wrote = rm.cand_wrote;
+  }
+}
+
+inline std::uint64_t MemorySystem::access(int thread_id, std::uint64_t addr,
+                                          bool write, std::uint64_t now) {
+  const std::uint64_t line = addr >> line_shift_;
+  ThreadInfo& ti = tinfo_[static_cast<std::size_t>(thread_id)];
+  Counters& ctr = *shards_[static_cast<std::size_t>(ti.shard)]->ctr;
+  ++ctr.accesses;
+  if (write) ++ctr.writes;
+
+  // Fast path: repeat access to a recently-touched line — no set scan, no
+  // coherence work. The memos are precise (see memo_drop), so a match
+  // proves residency; the range memo covers re-swept buffers, the per-line
+  // ways cover interleaved read/write streams.
+  if (memo_enabled_) {
+    // The direct-mapped slot is checked first: on the sort kernels it
+    // absorbs the overwhelming majority of accesses (every element touch
+    // after the first on a line), while whole-buffer range hits are rare.
+    RangeMemo& rm = range_memo_[static_cast<std::size_t>(thread_id)];
+    const std::size_t slot = line & (kMemoSlots - 1);
+    const std::uint64_t e =
+        memo_[static_cast<std::size_t>(thread_id)].entry[slot];
+    if ((e >> 1) == line && (!write || (e & 1) != 0)) {
+      // A memo hit still proves residency, so let it feed the stream
+      // detector — otherwise recently-touched lines punch holes in the
+      // streak and starve range promotion.
+      extend_streak(rm, line, write);
+      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
+      return ti.hit_cycles[0];
+    }
+    if (line >= rm.lo && line < rm.hi && (!write || rm.wrote != 0)) {
+      ++ctr.level[static_cast<std::size_t>(ti.inner_depth)].hits;
+      return ti.hit_cycles[0];
+    }
+  }
+  return access_slow(ti, ctr, thread_id, line, write, now);
+}
+
+inline std::uint64_t MemorySystem::access_range(int thread_id,
+                                                std::uint64_t addr,
+                                                std::uint64_t bytes,
+                                                bool write,
+                                                std::uint64_t now) {
+  if (bytes == 0) return 0;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  if (first == last) return access(thread_id, addr, write, now);
+  return access_range_multi(thread_id, first, last, write, now);
+}
 
 }  // namespace sbs::sim

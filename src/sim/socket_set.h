@@ -1,0 +1,200 @@
+// A set of socket (shard) indices for the cross-socket sharing directory.
+//
+// The directory used to pack one bit per socket into a single uint64_t,
+// capping the simulator at 64 sockets. SocketSet keeps that representation
+// for the common case — sockets 0..63 live in an inline word, so machines
+// up to 64 sockets never allocate and the hot mask operations compile to
+// the same bit twiddling as before — and spills sockets >= 64 into a small
+// heap bitmap sized to the highest socket ever set. The spill is per-entry:
+// even on a 256-socket machine, a line shared by sockets {2, 17} stays
+// inline.
+//
+// The type is a value: FlatMap stores it in open-addressed slots and
+// copies/moves it on grow and backward-shift deletion, so the full rule of
+// five is implemented (copies clone the spill, moves steal it).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+#include "util/assert.h"
+
+namespace sbs::sim {
+
+class SocketSet {
+ public:
+  /// Sockets 0..kInline-1 are stored inline; higher indices spill.
+  static constexpr int kInline = 64;
+  /// Hard ceiling (matches MemorySystem's shard-count check).
+  static constexpr int kMaxSockets = 1024;
+
+  SocketSet() = default;
+  ~SocketSet() = default;
+
+  SocketSet(const SocketSet& other) : lo_(other.lo_) { clone_ext(other); }
+  SocketSet& operator=(const SocketSet& other) {
+    if (this != &other) {
+      lo_ = other.lo_;
+      ext_.reset();
+      ext_words_ = 0;
+      clone_ext(other);
+    }
+    return *this;
+  }
+  SocketSet(SocketSet&& other) noexcept
+      : lo_(other.lo_),
+        ext_(std::move(other.ext_)),
+        ext_words_(other.ext_words_) {
+    other.lo_ = 0;
+    other.ext_words_ = 0;
+  }
+  SocketSet& operator=(SocketSet&& other) noexcept {
+    if (this != &other) {
+      lo_ = other.lo_;
+      ext_ = std::move(other.ext_);
+      ext_words_ = other.ext_words_;
+      other.lo_ = 0;
+      other.ext_words_ = 0;
+    }
+    return *this;
+  }
+
+  void set(int socket) {
+    SBS_ASSERT(socket >= 0 && socket < kMaxSockets);
+    if (socket < kInline) {
+      lo_ |= std::uint64_t{1} << socket;
+      return;
+    }
+    const int w = socket / kInline - 1;
+    if (w >= ext_words_) grow_ext(w + 1);
+    ext_[static_cast<std::size_t>(w)] |=
+        std::uint64_t{1} << (socket % kInline);
+  }
+
+  void reset(int socket) {
+    SBS_ASSERT(socket >= 0 && socket < kMaxSockets);
+    if (socket < kInline) {
+      lo_ &= ~(std::uint64_t{1} << socket);
+      return;
+    }
+    const int w = socket / kInline - 1;
+    if (w < ext_words_)
+      ext_[static_cast<std::size_t>(w)] &=
+          ~(std::uint64_t{1} << (socket % kInline));
+  }
+
+  bool test(int socket) const {
+    SBS_ASSERT(socket >= 0 && socket < kMaxSockets);
+    if (socket < kInline) return (lo_ >> socket) & 1;
+    const int w = socket / kInline - 1;
+    if (w >= ext_words_) return false;
+    return (ext_[static_cast<std::size_t>(w)] >> (socket % kInline)) & 1;
+  }
+
+  /// True if no socket is set (the directory erases such entries).
+  bool none() const {
+    if (lo_ != 0) return false;
+    for (int w = 0; w < ext_words_; ++w) {
+      if (ext_[static_cast<std::size_t>(w)] != 0) return false;
+    }
+    return true;
+  }
+
+  bool any() const { return !none(); }
+
+  /// True if any socket other than `socket` is set.
+  bool any_other(int socket) const {
+    if ((lo_ & ~mask_of(socket, 0)) != 0) return true;
+    for (int w = 0; w < ext_words_; ++w) {
+      if ((ext_[static_cast<std::size_t>(w)] & ~mask_of(socket, w + 1)) != 0)
+        return true;
+    }
+    return false;
+  }
+
+  int count() const {
+    int n = std::popcount(lo_);
+    for (int w = 0; w < ext_words_; ++w)
+      n += std::popcount(ext_[static_cast<std::size_t>(w)]);
+    return n;
+  }
+
+  /// Visit every set socket except `skip` (pass -1 to visit all), in
+  /// ascending socket order — the deterministic order the coherence sweeps
+  /// rely on. `fn` is called with the socket index.
+  template <class Fn>
+  void for_each_other(int skip, Fn&& fn) const {
+    for (std::uint64_t m = lo_ & ~mask_of(skip, 0); m != 0; m &= m - 1) {
+      fn(std::countr_zero(m));
+    }
+    for (int w = 0; w < ext_words_; ++w) {
+      for (std::uint64_t m =
+               ext_[static_cast<std::size_t>(w)] & ~mask_of(skip, w + 1);
+           m != 0; m &= m - 1) {
+        fn((w + 1) * kInline + std::countr_zero(m));
+      }
+    }
+  }
+
+  /// Clear every socket except `keep` (the post-sweep scrub: all other
+  /// holders were just invalidated).
+  void clear_others(int keep) {
+    lo_ &= mask_of(keep, 0);
+    for (int w = 0; w < ext_words_; ++w)
+      ext_[static_cast<std::size_t>(w)] &= mask_of(keep, w + 1);
+  }
+
+  bool operator==(const SocketSet& other) const {
+    if (lo_ != other.lo_) return false;
+    const int words = ext_words_ > other.ext_words_ ? ext_words_
+                                                    : other.ext_words_;
+    for (int w = 0; w < words; ++w) {
+      const std::uint64_t a =
+          w < ext_words_ ? ext_[static_cast<std::size_t>(w)] : 0;
+      const std::uint64_t b = w < other.ext_words_
+                                  ? other.ext_[static_cast<std::size_t>(w)]
+                                  : 0;
+      if (a != b) return false;
+    }
+    return true;
+  }
+  bool operator!=(const SocketSet& other) const { return !(*this == other); }
+
+  /// True if the set has spilled to the heap (tests).
+  bool spilled() const { return ext_words_ != 0; }
+
+ private:
+  /// Bit mask of `socket` within word index `word` (0 = inline word), or 0
+  /// if the socket lives in another word (or is -1).
+  static std::uint64_t mask_of(int socket, int word) {
+    if (socket < 0 || socket / kInline != word) return 0;
+    return std::uint64_t{1} << (socket % kInline);
+  }
+
+  void clone_ext(const SocketSet& other) {
+    if (other.ext_words_ == 0) return;
+    ext_ = std::make_unique<std::uint64_t[]>(
+        static_cast<std::size_t>(other.ext_words_));
+    ext_words_ = other.ext_words_;
+    for (int w = 0; w < ext_words_; ++w)
+      ext_[static_cast<std::size_t>(w)] =
+          other.ext_[static_cast<std::size_t>(w)];
+  }
+
+  void grow_ext(int words) {
+    auto grown =
+        std::make_unique<std::uint64_t[]>(static_cast<std::size_t>(words));
+    for (int w = 0; w < words; ++w)
+      grown[static_cast<std::size_t>(w)] =
+          w < ext_words_ ? ext_[static_cast<std::size_t>(w)] : 0;
+    ext_ = std::move(grown);
+    ext_words_ = words;
+  }
+
+  std::uint64_t lo_ = 0;  ///< sockets 0..63, always inline
+  std::unique_ptr<std::uint64_t[]> ext_;  ///< sockets 64.., ext_words_ words
+  int ext_words_ = 0;
+};
+
+}  // namespace sbs::sim

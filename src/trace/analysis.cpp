@@ -134,7 +134,8 @@ TraceAnalysis Analyze(const Recorder& recorder, int stall_bins) {
 }
 
 bool WriteMetricsJsonl(const TraceAnalysis& analysis, const std::string& path,
-                       const std::string& label, bool truncate) {
+                       const std::string& label, bool truncate,
+                       const EngineOverheads* engine) {
   const WorkerProfile t = analysis.totals();
 
   JsonWriter json;
@@ -177,6 +178,16 @@ bool WriteMetricsJsonl(const TraceAnalysis& analysis, const std::string& path,
         .end_object();
   }
   json.end_array();
+  if (engine != nullptr && engine->any()) {
+    json.key("engine")
+        .begin_object()
+        .kv("windows_executed", engine->windows_executed)
+        .kv("window_merges", engine->window_merges)
+        .kv("pump_passes", engine->pump_passes)
+        .kv("fiber_switches", engine->fiber_switches)
+        .kv("inline_strands", engine->inline_strands)
+        .end_object();
+  }
   json.key("per_worker").begin_array();
   for (const WorkerProfile& w : analysis.workers) {
     json.begin_object()

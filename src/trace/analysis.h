@@ -64,11 +64,30 @@ struct TraceAnalysis {
 /// Scan every worker's surviving events once and aggregate.
 TraceAnalysis Analyze(const Recorder& recorder, int stall_bins = 32);
 
+/// Simulator-engine overheads for the run the trace came from (sim engine
+/// only; see sim/counters.h). The trace recorder never sees these — the
+/// engine counts them directly — so callers pass them alongside the
+/// analysis when exporting metrics.
+struct EngineOverheads {
+  std::uint64_t windows_executed = 0;
+  std::uint64_t window_merges = 0;
+  std::uint64_t pump_passes = 0;
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t inline_strands = 0;
+
+  bool any() const {
+    return windows_executed != 0 || pump_passes != 0 || fiber_switches != 0;
+  }
+};
+
 /// Append one JSONL record (a single line of JSON) summarizing the analysis
 /// to `path` — steal counts, per-level anchor histogram, stall-time series,
-/// imbalance, per-worker profiles. `truncate` starts the file afresh.
-/// Returns false if the file could not be written.
+/// imbalance, per-worker profiles. `truncate` starts the file afresh. If
+/// `engine` is non-null and carries any counts, an "engine" sub-object with
+/// the simulator-overhead counters is included. Returns false if the file
+/// could not be written.
 bool WriteMetricsJsonl(const TraceAnalysis& analysis, const std::string& path,
-                       const std::string& label, bool truncate = false);
+                       const std::string& label, bool truncate = false,
+                       const EngineOverheads* engine = nullptr);
 
 }  // namespace sbs::trace

@@ -1,0 +1,172 @@
+// Unit tests for the sharing-directory socket set (src/sim/socket_set.h),
+// concentrating on the 64-socket inline/spill boundary: machines up to 64
+// sockets must stay allocation-free, and sets that cross the boundary must
+// behave identically to the inline representation (ascending iteration
+// order, any_other/clear_others semantics, value-type copies in FlatMap).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flat_map.h"
+#include "sim/socket_set.h"
+
+namespace sbs::sim {
+namespace {
+
+std::vector<int> collect(const SocketSet& s, int skip) {
+  std::vector<int> out;
+  s.for_each_other(skip, [&](int socket) { out.push_back(socket); });
+  return out;
+}
+
+TEST(SocketSet, InlineSetResetTest) {
+  SocketSet s;
+  EXPECT_TRUE(s.none());
+  EXPECT_FALSE(s.any());
+  s.set(0);
+  s.set(17);
+  s.set(63);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(17));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_FALSE(s.spilled());  // sockets 0..63 never allocate
+  s.reset(17);
+  EXPECT_FALSE(s.test(17));
+  EXPECT_EQ(s.count(), 2);
+  s.reset(0);
+  s.reset(63);
+  EXPECT_TRUE(s.none());
+}
+
+TEST(SocketSet, SpillBoundary) {
+  SocketSet s;
+  s.set(63);
+  EXPECT_FALSE(s.spilled());
+  s.set(64);  // first socket past the inline word
+  EXPECT_TRUE(s.spilled());
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_FALSE(s.test(65));
+  s.set(127);
+  s.set(128);
+  s.set(1023);  // top of the supported range
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_EQ(collect(s, -1), (std::vector<int>{63, 64, 127, 128, 1023}));
+  s.reset(64);
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 4);
+}
+
+TEST(SocketSet, AnyOtherAcrossBoundary) {
+  SocketSet s;
+  s.set(70);
+  EXPECT_TRUE(s.any_other(5));
+  EXPECT_FALSE(s.any_other(70));
+  s.set(5);
+  EXPECT_TRUE(s.any_other(70));
+  s.reset(5);
+  EXPECT_FALSE(s.any_other(70));
+}
+
+TEST(SocketSet, ForEachOtherSkipsAndAscends) {
+  SocketSet s;
+  for (int socket : {3, 0, 200, 64, 63, 199}) s.set(socket);
+  EXPECT_EQ(collect(s, -1), (std::vector<int>{0, 3, 63, 64, 199, 200}));
+  EXPECT_EQ(collect(s, 64), (std::vector<int>{0, 3, 63, 199, 200}));
+  EXPECT_EQ(collect(s, 3), (std::vector<int>{0, 63, 64, 199, 200}));
+  EXPECT_EQ(collect(s, 7), (std::vector<int>{0, 3, 63, 64, 199, 200}));
+}
+
+TEST(SocketSet, ClearOthers) {
+  SocketSet s;
+  for (int socket : {1, 63, 64, 500}) s.set(socket);
+  s.clear_others(64);
+  EXPECT_TRUE(s.test(64));
+  EXPECT_EQ(s.count(), 1);
+
+  SocketSet t;
+  for (int socket : {1, 63, 64, 500}) t.set(socket);
+  t.clear_others(1);
+  EXPECT_TRUE(t.test(1));
+  EXPECT_EQ(t.count(), 1);
+}
+
+TEST(SocketSet, CopyAndMoveSemantics) {
+  SocketSet s;
+  s.set(2);
+  s.set(90);
+
+  SocketSet copy(s);  // deep copy: mutating the copy leaves s intact
+  copy.reset(90);
+  copy.set(91);
+  EXPECT_TRUE(s.test(90));
+  EXPECT_FALSE(s.test(91));
+  EXPECT_TRUE(copy.test(91));
+  EXPECT_FALSE(copy.test(90));
+
+  SocketSet assigned;
+  assigned.set(500);
+  assigned = s;
+  EXPECT_EQ(assigned, s);
+  EXPECT_FALSE(assigned.test(500));
+
+  SocketSet moved(std::move(copy));
+  EXPECT_TRUE(moved.test(2));
+  EXPECT_TRUE(moved.test(91));
+  EXPECT_TRUE(copy.none());  // moved-from is empty, still usable
+  copy.set(64);
+  EXPECT_TRUE(copy.test(64));
+}
+
+TEST(SocketSet, Equality) {
+  SocketSet a;
+  SocketSet b;
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+  a.set(100);
+  EXPECT_NE(a, b);
+  b.set(100);
+  EXPECT_EQ(a, b);
+  // A spilled-then-emptied high word still compares equal to a set that
+  // never spilled.
+  a.reset(100);
+  b.reset(100);
+  EXPECT_EQ(a, b);
+  SocketSet never_spilled;
+  never_spilled.set(10);
+  EXPECT_EQ(a, never_spilled);
+}
+
+TEST(SocketSet, SurvivesFlatMapChurn) {
+  // The directory stores SocketSet by value in open-addressed slots; grow
+  // and backward-shift erase must preserve spilled payloads.
+  FlatMap<SocketSet> dir(16);
+  constexpr std::uint64_t kLines = 3000;
+  for (std::uint64_t line = 1; line <= kLines; ++line) {
+    SocketSet& s = dir[line];
+    s.set(static_cast<int>(line % 64));
+    s.set(static_cast<int>(64 + line % 192));  // every entry spills
+  }
+  for (std::uint64_t line = 1; line <= kLines; line += 3) dir.erase(line);
+  for (std::uint64_t line = 1; line <= kLines; ++line) {
+    SocketSet* s = dir.find(line);
+    if (line % 3 == 1) {
+      EXPECT_EQ(s, nullptr) << "line " << line;
+      continue;
+    }
+    ASSERT_NE(s, nullptr) << "line " << line;
+    EXPECT_TRUE(s->test(static_cast<int>(line % 64)));
+    EXPECT_TRUE(s->test(static_cast<int>(64 + line % 192)));
+    EXPECT_EQ(s->count(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace sbs::sim
