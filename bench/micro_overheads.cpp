@@ -15,6 +15,12 @@
 //     backs WS/PWS, same binary so the delta is directly comparable
 //   - fork_alloc: heap operator new vs the per-worker JobArena for
 //     Job-sized allocations
+//   - cache_find_way / cache_presence_filter / cache_lru_touch: the
+//     simulated-cache probe representations (sim/cache.h) — scalar vs SIMD
+//     tag scans, the guaranteed-miss cost with and without the per-set
+//     presence filter, and rotate vs packed recency maintenance under the
+//     MRU-repeat (rotate's best case) and LRU-cycle (rotate's worst case)
+//     probe patterns
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -32,6 +38,7 @@
 #include "sched/chase_lev.h"
 #include "sched/ops.h"
 #include "sched/registry.h"
+#include "sim/cache.h"
 #include "sim/fiber.h"
 #include "util/json.h"
 
@@ -335,6 +342,101 @@ double job_alloc_ops_per_sec(runtime::JobArena* arena) {
   return static_cast<double>(kAllocTotal) / best;
 }
 
+// --- simulated-cache probe cells (sim/cache.h representations) ---
+
+constexpr int kProbeReps = 3;
+constexpr std::size_t kProbeTarget = std::size_t{1} << 21;
+
+/// ns per contains() over a mixed hit/miss probe stream on a 256-set cache
+/// filled with 4x its capacity (so roughly 1 in 4 probes hits). Packed LRU
+/// keeps slots fixed, making the scan depth independent of fill history;
+/// the filter is off so every probe really scans the tags.
+double find_way_ns(std::uint32_t assoc, bool simd) {
+  const std::uint64_t sets = 256;
+  sim::CacheOptions o;
+  o.simd_probes = simd;
+  o.presence_filter = false;
+  o.packed_lru = true;
+  sim::Cache c(sets * assoc * 64, 64, assoc, o);
+  const std::uint64_t stream = sets * assoc * 4;
+  for (std::uint64_t i = 0; i < stream; ++i) {
+    sim::Cache::Evicted ev;
+    c.fill_if_absent(i, false, &ev);
+  }
+  const std::size_t passes =
+      std::max<std::size_t>(1, kProbeTarget / stream);
+  double best = 1e300;
+  for (int rep = 0; rep < kProbeReps; ++rep) {
+    const double t0 = now_s();
+    std::uint64_t found = 0;
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (std::uint64_t i = 0; i < stream; ++i) {
+        found += c.contains(i) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+    best = std::min(best, now_s() - t0);
+  }
+  return best * 1e9 /
+         (static_cast<double>(stream) * static_cast<double>(passes));
+}
+
+/// ns per guaranteed-miss probe_and_touch() — the outer-level coherence
+/// sweep case the presence filter exists for. With the filter forced on
+/// (filter_min_tag_bytes = 0) most probes end at a zero filter bucket; off,
+/// every probe scans the full set.
+double miss_probe_ns(std::uint32_t assoc, bool filter,
+                     std::uint64_t* skips_out) {
+  const std::uint64_t sets = 256;
+  sim::CacheOptions o;
+  o.presence_filter = filter;
+  o.filter_min_tag_bytes = 0;
+  o.packed_lru = true;
+  sim::Cache c(sets * assoc * 64, 64, assoc, o);
+  const std::uint64_t lines = sets * assoc;
+  for (std::uint64_t i = 0; i < lines * 4; ++i) {
+    sim::Cache::Evicted ev;
+    c.fill_if_absent(i, false, &ev);
+  }
+  const std::uint64_t absent_base = lines * 16;  // never filled
+  double best = 1e300;
+  for (int rep = 0; rep < kProbeReps; ++rep) {
+    const double t0 = now_s();
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < kProbeTarget; ++i) {
+      hits += c.probe_and_touch(absent_base + i, false) ? 1 : 0;
+    }
+    SBS_CHECK_MSG(hits == 0, "absent probe stream hit the cache");
+    best = std::min(best, now_s() - t0);
+  }
+  if (skips_out != nullptr) *skips_out = c.filter_skips();
+  return best * 1e9 / static_cast<double>(kProbeTarget);
+}
+
+/// ns per probe_and_touch() on a single fully-associative set, under the
+/// two extreme hit patterns: `cycle` round-robins the set's lines (every
+/// probe hits the current LRU way — rotate's O(assoc) worst case), else
+/// the same line repeats (the MRU fast path in every representation).
+double touch_ns(std::uint32_t assoc, bool packed, bool cycle) {
+  sim::CacheOptions o;
+  o.presence_filter = false;
+  o.packed_lru = packed;
+  sim::Cache c(assoc * 64, 64, assoc, o);
+  for (std::uint64_t l = 1; l <= assoc; ++l) c.fill(l, false);
+  double best = 1e300;
+  for (int rep = 0; rep < kProbeReps; ++rep) {
+    const double t0 = now_s();
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < kProbeTarget; ++i) {
+      const std::uint64_t line = cycle ? 1 + i % assoc : 1;
+      hits += c.probe_and_touch(line, false) ? 1 : 0;
+    }
+    SBS_CHECK_MSG(hits == kProbeTarget, "resident probe stream missed");
+    best = std::min(best, now_s() - t0);
+  }
+  return best * 1e9 / static_cast<double>(kProbeTarget);
+}
+
 /// Writes BENCH_micro_overheads.json: the recorder's traced-vs-untraced
 /// cost (acceptance bar: <1% slowdown with tracing disabled), the locked
 /// vs Chase-Lev queue cells, and the heap vs arena allocation cells.
@@ -368,10 +470,30 @@ void write_bench_cells() {
   const double arena_alloc = job_alloc_ops_per_sec(&arena);
   const double fiber_ops = fiber_switch_ops_per_sec();
 
+  // Simulated-cache probe cells.
+  const std::uint32_t kFindWayAssocs[] = {8, 24, 32};
+  double scalar_ns[3], simd_ns[3];
+  for (int i = 0; i < 3; ++i) {
+    scalar_ns[i] = find_way_ns(kFindWayAssocs[i], /*simd=*/false);
+    simd_ns[i] = find_way_ns(kFindWayAssocs[i], /*simd=*/true);
+  }
+  std::uint64_t filter_skips = 0;
+  const double miss_scan_ns = miss_probe_ns(16, /*filter=*/false, nullptr);
+  const double miss_filter_ns = miss_probe_ns(16, /*filter=*/true,
+                                              &filter_skips);
+  const std::uint32_t kTouchAssocs[] = {8, 24};  // order-word / stamp mode
+  double rot_mru_ns[2], rot_cyc_ns[2], pak_mru_ns[2], pak_cyc_ns[2];
+  for (int i = 0; i < 2; ++i) {
+    rot_mru_ns[i] = touch_ns(kTouchAssocs[i], /*packed=*/false, false);
+    rot_cyc_ns[i] = touch_ns(kTouchAssocs[i], /*packed=*/false, true);
+    pak_mru_ns[i] = touch_ns(kTouchAssocs[i], /*packed=*/true, false);
+    pak_cyc_ns[i] = touch_ns(kTouchAssocs[i], /*packed=*/true, true);
+  }
+
   JsonWriter w;
   w.begin_object();
   w.kv("bench", "micro_overheads");
-  w.kv("schema_version", 3);
+  w.kv("schema_version", 4);
   w.key("recorder_overhead").begin_object();
   w.kv("machine", "mini");
   w.kv("workload", "fork_tree(11) under WS, best of 5");
@@ -417,6 +539,45 @@ void write_bench_cells() {
   w.kv("round_trips_per_sec", fiber_ops);
   w.kv("ns_per_round_trip", 1e9 / fiber_ops);
   w.end_object();
+  w.key("cache_find_way").begin_object();
+  w.kv("workload", "contains() mixed hit/miss, 256 sets, best of 3");
+  for (int i = 0; i < 3; ++i) {
+    // Report the impl a cache of this associativity actually selects
+    // (narrow sets demote AVX2 to inline SSE2 — cache.cpp).
+    const sim::Cache probe_cache(256 * kFindWayAssocs[i] * 64, 64,
+                                 kFindWayAssocs[i]);
+    char cell[32];
+    std::snprintf(cell, sizeof cell, "assoc_%u", kFindWayAssocs[i]);
+    w.key(cell).begin_object();
+    w.kv("simd_impl", sim::simd::probe_impl_name(probe_cache.probe_impl()));
+    w.kv("scalar_ns_per_probe", scalar_ns[i]);
+    w.kv("simd_ns_per_probe", simd_ns[i]);
+    w.kv("speedup", scalar_ns[i] / simd_ns[i]);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("cache_presence_filter").begin_object();
+  w.kv("workload", "guaranteed-miss probe_and_touch, assoc 16, best of 3");
+  w.kv("scan_ns_per_probe", miss_scan_ns);
+  w.kv("filtered_ns_per_probe", miss_filter_ns);
+  w.kv("filter_skips", filter_skips);
+  w.kv("speedup", miss_scan_ns / miss_filter_ns);
+  w.end_object();
+  w.key("cache_lru_touch").begin_object();
+  w.kv("workload",
+       "probe_and_touch on one fully-assoc set, MRU-repeat vs LRU-cycle");
+  for (int i = 0; i < 2; ++i) {
+    char cell[32];
+    std::snprintf(cell, sizeof cell, "assoc_%u", kTouchAssocs[i]);
+    w.key(cell).begin_object();
+    w.kv("rotate_mru_ns", rot_mru_ns[i]);
+    w.kv("rotate_lru_cycle_ns", rot_cyc_ns[i]);
+    w.kv("packed_mru_ns", pak_mru_ns[i]);
+    w.kv("packed_lru_cycle_ns", pak_cyc_ns[i]);
+    w.kv("lru_cycle_speedup", rot_cyc_ns[i] / pak_cyc_ns[i]);
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
 
   const char* path = "BENCH_micro_overheads.json";
@@ -447,6 +608,22 @@ void write_bench_cells() {
   std::printf("fiber switch:  %.1fM round trips/s (%.1f ns each, %s)\n",
               fiber_ops / 1e6, 1e9 / fiber_ops,
               SBS_ASM_FIBERS ? "asm" : "ucontext");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(
+        "cache find_way assoc %-2u: scalar %.1f ns, simd %.1f ns (%.2fx)\n",
+        kFindWayAssocs[i], scalar_ns[i], simd_ns[i],
+        scalar_ns[i] / simd_ns[i]);
+  }
+  std::printf(
+      "cache miss probe assoc 16: scan %.1f ns, filtered %.1f ns (%.2fx)\n",
+      miss_scan_ns, miss_filter_ns, miss_scan_ns / miss_filter_ns);
+  for (int i = 0; i < 2; ++i) {
+    std::printf(
+        "cache touch assoc %-2u: rotate mru/cycle %.1f/%.1f ns, packed "
+        "%.1f/%.1f ns\n",
+        kTouchAssocs[i], rot_mru_ns[i], rot_cyc_ns[i], pak_mru_ns[i],
+        pak_cyc_ns[i]);
+  }
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "kernels/kernel.h"
@@ -98,6 +99,7 @@ void check_adaptive_identical(const Measurement& fixed, const Measurement& ad,
                     f.remote_dram_accesses == a.remote_dram_accesses &&
                     f.queue_wait_cycles == a.queue_wait_cycles &&
                     f.fiber_switches == a.fiber_switches &&
+                    f.filter_skips == a.filter_skips &&
                     f.windows_executed == a.windows_executed &&
                     f.pump_passes == a.pump_passes &&
                     f.inline_strands == a.inline_strands,
@@ -106,12 +108,19 @@ void check_adaptive_identical(const Measurement& fixed, const Measurement& ad,
                 "adaptive windows increased merge count");
 }
 
-void emit(JsonWriter& w, const char* key, const Measurement& m) {
+/// `timing_meaningful` is false for multi-host-thread cells on a host with
+/// a single CPU: the windows still execute (and the equivalence asserts
+/// still bind), but the wall time measures oversubscription, not speedup —
+/// consumers should not read accesses_per_sec from such a cell.
+void emit(JsonWriter& w, const char* key, const Measurement& m,
+          bool timing_meaningful = true) {
   w.key(key).begin_object();
   w.kv("accesses", m.accesses);
   w.kv("best_wall_s", m.best_wall_s);
   w.kv("accesses_per_sec", m.acc_per_sec);
   w.kv("makespan_cycles", m.makespan);
+  w.kv("filter_skips", m.counters.filter_skips);
+  w.kv("timing_meaningful", timing_meaningful);
   w.key("engine").begin_object();
   w.kv("windows_executed", m.counters.windows_executed);
   w.kv("window_merges", m.counters.window_merges);
@@ -154,10 +163,17 @@ int main(int argc, char** argv) {
   SBS_CHECK_MSG(serial.makespan == par4.makespan &&
                     serial.accesses == par4.accesses,
                 "parallel window execution diverged from serial");
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  const bool multi_thread_timing = host_cpus > 1;
   std::printf("xeon7560 samplesort n=%zu: serial %.1fM acc/s, ht=4 %.1fM "
               "acc/s (makespan %llu, identical)\n",
               n, serial.acc_per_sec / 1e6, par4.acc_per_sec / 1e6,
               static_cast<unsigned long long>(serial.makespan));
+  if (!multi_thread_timing) {
+    std::printf("  note: host has 1 CPU — multi-host-thread wall times "
+                "measure oversubscription, not speedup (cells are marked "
+                "timing_meaningful=false)\n");
+  }
 
   // Fixed-quantum control cell: adaptive window coalescing must be a pure
   // host-side optimization.
@@ -209,7 +225,7 @@ int main(int argc, char** argv) {
   JsonWriter w;
   w.begin_object();
   w.kv("bench", "sim_throughput");
-  w.kv("schema_version", 2);
+  w.kv("schema_version", 3);
   w.kv("smoke", smoke);
   w.kv("kernel", "samplesort");
   w.kv("sched", "WS");
@@ -217,12 +233,22 @@ int main(int argc, char** argv) {
   w.kv("skew_quantum", quantum);
   w.kv("adaptive_window", true);
   w.kv("inline_strands", true);
+  w.kv("host_cpus", static_cast<std::uint64_t>(host_cpus));
+  // Cache-representation defaults in effect (SimParams, engine.h).
+  {
+    const sim::SimParams defaults;
+    w.key("cache_rep").begin_object();
+    w.kv("simd_probes", defaults.simd_probes);
+    w.kv("presence_filter", defaults.presence_filter);
+    w.kv("packed_lru", defaults.packed_lru);
+    w.end_object();
+  }
   // Measured at the seed of this change series (commit 00f9302, same
   // machine/kernel/n/quantum): 9.2M simulated accesses per host-second.
   w.kv("baseline_accesses_per_sec_at_00f9302", 9200000);
   w.key("xeon7560_fig4").begin_object();
   emit(w, "host_threads_1", serial);
-  emit(w, "host_threads_4", par4);
+  emit(w, "host_threads_4", par4, multi_thread_timing);
   emit(w, "host_threads_1_fixed_quantum", fixed_q);
   w.kv("parallel_equals_serial", true);
   w.kv("adaptive_equals_fixed", true);
@@ -231,7 +257,7 @@ int main(int argc, char** argv) {
   w.key("huge64_4level").begin_object();
   w.kv("n", huge_n);
   emit(w, "host_threads_1", huge1);
-  emit(w, "host_threads_8", huge8);
+  emit(w, "host_threads_8", huge8, multi_thread_timing);
   w.kv("parallel_equals_serial", true);
   w.end_object();
   w.end_object();

@@ -15,6 +15,9 @@
 #include "util/thread_safety.h"
 
 #if defined(__x86_64__)
+// Spin-hint only (_mm_pause below), not a vector data path — nothing for
+// the sim/simd.h wrapper to express.
+// lint:allow(raw-simd)
 #include <immintrin.h>
 #endif
 
@@ -28,7 +31,7 @@ inline std::uint64_t ops_snapshot() { return tl_ops; }
 
 inline void cpu_relax() {
 #if defined(__x86_64__)
-  _mm_pause();
+  _mm_pause();  // lint:allow(raw-simd) — spin hint, no vector semantics
 #endif
 }
 

@@ -16,6 +16,7 @@ std::string Counters::summary() const {
   out << " dram_reads=" << dram_reads << " writebacks=" << dram_writebacks
       << " remote=" << remote_dram_accesses
       << " queue_wait=" << queue_wait_cycles;
+  if (filter_skips != 0) out << " filter_skips=" << filter_skips;
   if (windows_executed != 0 || fiber_switches != 0) {
     out << " engine{windows=" << windows_executed
         << " merges=" << window_merges << " pump_passes=" << pump_passes
@@ -40,6 +41,7 @@ Counters& Counters::operator+=(const Counters& other) {
   queue_wait_cycles += other.queue_wait_cycles;
   accesses += other.accesses;
   writes += other.writes;
+  filter_skips += other.filter_skips;
   fiber_switches += other.fiber_switches;
   windows_executed += other.windows_executed;
   window_merges += other.window_merges;

@@ -33,6 +33,11 @@ struct Counters {
   std::uint64_t queue_wait_cycles = 0;     ///< total bandwidth queueing stall
   std::uint64_t accesses = 0;              ///< total line requests
   std::uint64_t writes = 0;
+  /// Tag scans the presence filters answered without touching the tag
+  /// array (cache.h). A host-cost metric like the engine counters — it
+  /// does not affect simulated time — but deterministic like the coherence
+  /// counters, so equivalence checks compare it exactly.
+  std::uint64_t filter_skips = 0;
 
   // Engine-overhead counters (filled by SimEngine, not the memory system):
   // how much host work the simulation spent on machinery rather than cache
@@ -54,6 +59,7 @@ struct Counters {
     queue_wait_cycles = 0;
     accesses = 0;
     writes = 0;
+    filter_skips = 0;
     fiber_switches = 0;
     windows_executed = 0;
     window_merges = 0;

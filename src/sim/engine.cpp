@@ -111,6 +111,9 @@ SimEngine::SimEngine(const machine::Topology& topo, SimParams params)
   num_threads_ =
       params_.num_threads < 0 ? topo.num_threads() : params_.num_threads;
   SBS_CHECK(num_threads_ >= 1 && num_threads_ <= topo.num_threads());
+  params_.memory.cache.simd_probes = params_.simd_probes;
+  params_.memory.cache.presence_filter = params_.presence_filter;
+  params_.memory.cache.packed_lru = params_.packed_lru;
   memory_ = std::make_unique<MemorySystem>(topo, params_.memory);
 
   host_threads_ = std::max(1, params_.host_threads);
@@ -490,6 +493,7 @@ SimResult SimEngine::run(runtime::Scheduler& sched, Job* root_job) {
   SimResult result;
   result.makespan_cycles = completion_clock;
   result.counters = memory_->counters();
+  result.counters.filter_skips = memory_->filter_skips_total();
   result.counters.windows_executed = windows_executed_;
   result.counters.pump_passes = pump_passes_;
   result.counters.window_merges = window_merges_;

@@ -74,6 +74,18 @@ struct SimParams {
   /// simulated state, and the pump defers their completion to the same
   /// barrier the fiber path uses.
   bool inline_strands = true;
+  // Cache-representation knobs, mirrored into MemoryParams::cache by the
+  // engine constructor (cache.h CacheOptions). All three are pure host-side
+  // representation choices: makespans and every coherence counter are
+  // bit-identical whichever way they are set (tests/test_sim_probe.cpp).
+  /// Vectorized tag probes (SSE2/AVX2 where available); scalar scan when
+  /// false. SBS_SIM_SCALAR=1 in the environment also forces scalar.
+  bool simd_probes = true;
+  /// Per-set line-presence filters on big outer-level tag arrays.
+  bool presence_filter = true;
+  /// Packed O(1) recency encoding instead of the rotate-to-front shuffle.
+  /// Off by default — see CacheOptions::packed_lru (cache.h).
+  bool packed_lru = false;
 };
 
 struct SimResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/assert.h"
 
@@ -29,6 +31,16 @@ MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
       std::countr_zero(cfg.page_bytes / line_bytes_));
 
   const int leaf_depth = topo.leaf_depth();
+
+  // The escape hatch for the vectorized probe loop: SBS_SIM_SCALAR=1 forces
+  // every cache onto the scalar tag scan (CI's forced-scalar lane, and any
+  // host where the SIMD path is suspected). Read once here so a single env
+  // check covers all caches.
+  const char* scalar_env = std::getenv("SBS_SIM_SCALAR");
+  if (scalar_env != nullptr && std::strcmp(scalar_env, "0") != 0 &&
+      scalar_env[0] != '\0') {
+    params_.cache.simd_probes = false;
+  }
 
   // One Cache per cache node (depths 1..L), plus the per-node precomputation
   // the hot paths use instead of Topology queries.
@@ -61,7 +73,8 @@ MemorySystem::MemorySystem(const machine::Topology& topo, MemoryParams params)
     if (node.depth < leaf_depth) {
       const machine::LevelSpec& lvl = topo.level_of(id);
       caches_[static_cast<std::size_t>(id)] =
-          std::make_unique<Cache>(lvl.size, lvl.line, lvl.assoc);
+          std::make_unique<Cache>(lvl.size, lvl.line, lvl.assoc,
+                                  params_.cache);
     }
   }
 
@@ -712,6 +725,14 @@ void MemorySystem::merge_window() {
 std::uint64_t MemorySystem::resident_lines(int node_id) const {
   const auto& cache = caches_[static_cast<std::size_t>(node_id)];
   return cache ? cache->resident_lines() : 0;
+}
+
+std::uint64_t MemorySystem::filter_skips_total() const {
+  std::uint64_t total = 0;
+  for (const auto& cache : caches_) {
+    if (cache) total += cache->filter_skips();
+  }
+  return total;
 }
 
 void MemorySystem::reset() {

@@ -99,6 +99,10 @@ struct MemoryParams {
   /// Extra cycles when the home socket is not the accessor's socket (QPI
   /// hop on the paper's machine).
   std::uint32_t remote_penalty_cycles = 60;
+  /// Cache representation knobs (probe SIMD tier, presence filters, packed
+  /// LRU — cache.h). Applied to every cache instance; SBS_SIM_SCALAR=1 in
+  /// the environment forces simd_probes off regardless.
+  CacheOptions cache;
 };
 
 class MemorySystem {
@@ -142,6 +146,10 @@ class MemorySystem {
 
   /// Resident line count of a cache node (tests).
   std::uint64_t resident_lines(int node_id) const;
+  /// Tag scans skipped by the presence filters, summed over every cache
+  /// (cache.h filter_skips()). Deterministic like the coherence counters;
+  /// the engine folds it into the run's Counters.
+  std::uint64_t filter_skips_total() const;
   /// Drop all cached state (between experiment repetitions).
   void reset();
 

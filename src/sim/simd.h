@@ -1,0 +1,134 @@
+// Vectorized tag-word search for the cache probe loop — the single place
+// in the repo allowed to touch raw x86 intrinsics (tools/lint.py rule
+// `raw-simd`); everything else goes through the functions here so the
+// portability fallback stays centralized.
+//
+// The only operation the hierarchy walk needs is "index of the first word
+// equal to `key` in a short array of packed tag words, or -1" (cache.h:
+// a probe key always has the valid bit set and an invalid way's word is 0,
+// so the same search with key 0 finds a free way). Tag words within a set
+// are unique, so first-match equals any-match and a block-at-a-time scan
+// returns exactly what the scalar early-exit loop returns.
+//
+// Three implementations:
+//   - scalar: the portable early-exit loop (and the non-x86 build).
+//   - SSE2:   two ways per compare. SSE2 is baseline on x86-64, so this is
+//     plain inline code any TU can call — no dispatch needed. (SSE2 has no
+//     64-bit compare; two 32-bit lane compares plus an all-bits movemask
+//     test per 64-bit lane are equivalent.)
+//   - AVX2:   four ways per compare with a movemask early-out, compiled
+//     with a target attribute and guarded by a runtime CPUID check
+//     (have_avx2), so the binary still runs on SSE2-only hosts.
+//
+// Which one a Cache uses is decided once at construction (cache.h
+// CacheOptions::simd_probes, overridable with SBS_SIM_SCALAR=1) — results
+// are bit-identical across all three by construction, and
+// tests/test_sim_probe.cpp asserts it end to end.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SBS_SIMD_X86 1
+#include <immintrin.h>  // lint:allow(raw-simd)
+#else
+#define SBS_SIMD_X86 0
+#endif
+
+namespace sbs::sim::simd {
+
+/// The portable reference: early-exit scan. Returns the index of the first
+/// word equal to `key`, or -1.
+inline int find_u64_scalar(const std::uint64_t* words, std::uint32_t count,
+                           std::uint64_t key) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (words[i] == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+#if SBS_SIMD_X86
+
+/// SSE2: compare two 64-bit words per instruction. A 64-bit lane matches
+/// iff both of its 32-bit halves compare equal, i.e. its 8 byte-mask bits
+/// are all set.
+inline int find_u64_sse2(const std::uint64_t* words, std::uint32_t count,
+                         std::uint64_t key) {
+  const __m128i k =  // lint:allow(raw-simd)
+      _mm_set1_epi64x(static_cast<long long>(key));  // lint:allow(raw-simd)
+  std::uint32_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i v = _mm_loadu_si128(  // lint:allow(raw-simd)
+        reinterpret_cast<const __m128i*>(words + i));
+    const int m =
+        _mm_movemask_epi8(_mm_cmpeq_epi32(v, k));  // lint:allow(raw-simd)
+    if ((m & 0x00FF) == 0x00FF) return static_cast<int>(i);
+    if ((m & 0xFF00) == 0xFF00) return static_cast<int>(i) + 1;
+  }
+  if (i < count && words[i] == key) return static_cast<int>(i);
+  return -1;
+}
+
+/// AVX2: four 64-bit words per compare, sign-bit movemask, countr_zero for
+/// the lane. Call only when have_avx2() — the target attribute lets this
+/// header build without -mavx2.
+__attribute__((target("avx2"))) inline int find_u64_avx2(
+    const std::uint64_t* words, std::uint32_t count, std::uint64_t key) {
+  const __m256i k =  // lint:allow(raw-simd)
+      _mm256_set1_epi64x(static_cast<long long>(key));  // lint:allow(raw-simd)
+  std::uint32_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i v = _mm256_loadu_si256(  // lint:allow(raw-simd)
+        reinterpret_cast<const __m256i*>(words + i));
+    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(  // lint:allow(raw-simd)
+        _mm256_cmpeq_epi64(v, k)));  // lint:allow(raw-simd)
+    if (m != 0) {
+      return static_cast<int>(i) +
+             std::countr_zero(static_cast<unsigned>(m));
+    }
+  }
+  for (; i < count; ++i) {
+    if (words[i] == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+inline bool have_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else  // !SBS_SIMD_X86: every path is the scalar loop.
+
+inline int find_u64_sse2(const std::uint64_t* words, std::uint32_t count,
+                         std::uint64_t key) {
+  return find_u64_scalar(words, count, key);
+}
+inline int find_u64_avx2(const std::uint64_t* words, std::uint32_t count,
+                         std::uint64_t key) {
+  return find_u64_scalar(words, count, key);
+}
+inline bool have_avx2() { return false; }
+
+#endif
+
+/// Probe implementation tiers, widest first. A Cache resolves its tier
+/// once at construction: kAvx2 when allowed and the CPU has it, else kSse2
+/// on x86, else kScalar.
+enum class ProbeImpl : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+inline ProbeImpl select_probe_impl(bool allow_simd) {
+  if (!allow_simd || !SBS_SIMD_X86) return ProbeImpl::kScalar;
+  return have_avx2() ? ProbeImpl::kAvx2 : ProbeImpl::kSse2;
+}
+
+inline const char* probe_impl_name(ProbeImpl impl) {
+  switch (impl) {
+    case ProbeImpl::kAvx2:
+      return "avx2";
+    case ProbeImpl::kSse2:
+      return "sse2";
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace sbs::sim::simd

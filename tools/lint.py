@@ -39,6 +39,12 @@ Rules:
               cost ~10x vs the open-addressing sim::FlatMap that replaced
               it (see src/sim/flat_map.h). Cold, setup-only maps may carry
               a waiver.
+  raw-simd    Raw x86 intrinsics (_mm*/__m128i/immintrin.h includes) are
+              confined to src/sim/simd.h, which pairs every vector path
+              with a portable scalar fallback and the runtime dispatch
+              that keeps non-x86 and forced-scalar builds working. An
+              intrinsic anywhere else forks that portability story; waive
+              only with a reason the wrapper cannot express.
 
 Waivers: append `// lint:allow(<rule>)` on the offending line or the line
 directly above it.
@@ -67,6 +73,13 @@ BLOCKING_CALL_RE = re.compile(
     r"\b(?:sleep_for|sleep_until|yield)\s*\("
     r"|\.\s*(?:wait|wait_for|wait_until|join)\s*\(")
 SIM_UNORDERED_MAP_RE = re.compile(r"\bstd::unordered_map\b")
+# x86 vector intrinsics, vector register types, and the intrinsic headers.
+RAW_SIMD_RE = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:64|128|256|512)[a-z]*\b"
+    r"|#\s*include\s*<(?:immintrin|emmintrin|xmmintrin|pmmintrin|tmmintrin|"
+    r"smmintrin|nmmintrin|wmmintrin|avxintrin|avx2intrin)\.h>")
+# The one file allowed to speak raw SIMD (see the raw-simd rule).
+RAW_SIMD_HOME = "src/sim/simd.h"
 WALLCLOCK_SEED_RE = re.compile(
     r"\bstd::random_device\b|\bsrand\s*\("
     r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)")
@@ -169,6 +182,14 @@ def lint_file(path, rel, findings):
                     (rel, lineno, "std-deque",
                      "std::deque in src/sched/ needs an explicit "
                      "`// lint:allow(std-deque)` waiver"))
+
+        if rel != RAW_SIMD_HOME and RAW_SIMD_RE.search(code) and not waived(
+                raw_lines, idx, "raw-simd"):
+            findings.append(
+                (rel, lineno, "raw-simd",
+                 "raw x86 intrinsic outside src/sim/simd.h — add the "
+                 "operation to the wrapper (with its scalar fallback) "
+                 "instead"))
 
         if in_sim and SIM_UNORDERED_MAP_RE.search(code) and not waived(
                 raw_lines, idx, "sim-unordered-map"):
