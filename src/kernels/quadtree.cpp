@@ -4,7 +4,7 @@
 
 #include "runtime/jobs.h"
 #include "runtime/parallel_for.h"
-#include "sched/ops.h"
+#include "util/spinlock.h"
 #include "util/assert.h"
 
 namespace sbs::kernels {
@@ -86,11 +86,11 @@ namespace {
 
 // Side table: leaf node -> where its points live. Rebuilt every run.
 std::vector<std::pair<const QuadNode*, QuadLeafRecord>>* g_leaves = nullptr;
-sched::Spinlock g_leaves_lock;
+util::Spinlock g_leaves_lock;
 
 void record_leaf(const QuadNode* node, const double* x, const double* y,
                  std::size_t lo, std::size_t hi) {
-  sched::SpinGuard guard(g_leaves_lock);
+  util::SpinGuard guard(g_leaves_lock);
   g_leaves->emplace_back(node, QuadLeafRecord{x, y, lo, hi});
 }
 

@@ -65,6 +65,8 @@ void* JobArena::allocate_block(std::size_t payload_bytes) {
   SBS_ASSERT(cls < kClasses);
 
   FreeNode* node = local_free_[cls];
+  // Relaxed emptiness probe: cheap filter before the exchange below,
+  // which carries the real (acquire) ordering.
   if (node == nullptr &&
       remote_free_[cls].load(std::memory_order_relaxed) != nullptr) {
     // Claim the whole remote chain in one exchange; the acquire pairs with
@@ -85,6 +87,8 @@ void* JobArena::allocate_block(std::size_t payload_bytes) {
   Header* h = reinterpret_cast<Header*>(block);
   h->owner = this;
   h->cls = static_cast<std::uint32_t>(cls);
+  // Relaxed: live_ is a leak-check counter, only compared against zero
+  // at reset() after the pool quiesced.
   live_.fetch_add(1, std::memory_order_relaxed);
   return block + kHeaderBytes;
 }
@@ -110,25 +114,34 @@ void JobArena::free_local(Header* h) {
   auto* node = reinterpret_cast<FreeNode*>(h);
   node->next = local_free_[cls];
   local_free_[cls] = node;
+  // Relaxed: leak-check counter (see allocate_block).
   live_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void JobArena::free_remote(Header* h) {
   const std::size_t cls = h->cls;
   auto* node = reinterpret_cast<FreeNode*>(h);
+  // Treiber push. Relaxed seed + failure loads are fine — the CAS
+  // revalidates `head`; the release on success publishes the freed
+  // object's final writes to the owner's acquire exchange in
+  // allocate_block.
   FreeNode* head = remote_free_[cls].load(std::memory_order_relaxed);
   do {
     node->next = head;
   } while (!remote_free_[cls].compare_exchange_weak(
       head, node, std::memory_order_release, std::memory_order_relaxed));
+  // Relaxed: leak-check counter (see allocate_block).
   live_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void JobArena::reset() {
+  // Acquire pairs with the release decrements above so the reset thread
+  // observes every free that brought live_ to zero before recycling.
   SBS_CHECK_MSG(live_.load(std::memory_order_acquire) == 0,
                 "JobArena::reset with live blocks");
   for (std::size_t c = 0; c < kClasses; ++c) {
     local_free_[c] = nullptr;
+    // Relaxed: reset runs single-threaded after quiescence.
     remote_free_[c].store(nullptr, std::memory_order_relaxed);
   }
   next_slab_ = 0;

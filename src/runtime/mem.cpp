@@ -36,7 +36,7 @@ struct Stream {
 
 struct State {
   util::Mutex lock;
-  std::byte* base = nullptr;  // set once before any concurrent access
+  std::byte* base SBS_INIT_ONLY = nullptr;  // set once, before threads
   Stream host SBS_GUARDED_BY(lock);
   std::map<int, Stream> transient SBS_GUARDED_BY(lock);  // by stream id
 };

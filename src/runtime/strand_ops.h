@@ -93,6 +93,9 @@ class StrandOps {
       JoinCounter* jc = job->on_complete_;
       Task* task = job->task_;
       SBS_ASSERT(jc != nullptr);
+      // acq_rel: release publishes this strand's writes to whoever takes
+      // the counter to zero; acquire makes the last decrementer see every
+      // sibling's writes before running/deleting the continuation.
       if (jc->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         if (jc->continuation != nullptr) {
           to_add.push_back(jc->continuation);

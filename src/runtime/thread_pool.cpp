@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "runtime/strand_ops.h"
-#include "sched/ops.h"
+#include "util/cpu_relax.h"
 #include "util/assert.h"
 
 namespace sbs::runtime {
@@ -53,7 +53,7 @@ constexpr auto kIdleSleep = std::chrono::microseconds(50);
 
 void idle_backoff(int streak) {
   if (streak < kSpinRounds) {
-    for (int i = 0; i < (1 << streak); ++i) sched::cpu_relax();
+    for (int i = 0; i < (1 << streak); ++i) util::cpu_relax();
   } else if (streak < kSpinRounds + kYieldRounds) {
     std::this_thread::yield();
   } else {
@@ -100,6 +100,8 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
     std::vector<Job*> to_add;
     int idle_streak = 0;
     using trace::EventKind;
+    // Acquire pairs with the release store below: a worker that sees
+    // `finished` also sees the root job's results.
     while (!finished.load(std::memory_order_acquire)) {
       auto t0 = Clock::now();
       if (rec) rec->record(tid, EventKind::kGetBegin, rec->ticks_of(t0));
@@ -163,6 +165,8 @@ RunStats ThreadPool::run(Scheduler& sched, Job* root_job) {
                     rec->ticks_of(t6) - rec->ticks_of(t5));
       }
 
+      // Release publishes the completed root's writes to every worker's
+      // acquire load at the top of the loop.
       if (root_completed) finished.store(true, std::memory_order_release);
     }
   };

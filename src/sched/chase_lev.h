@@ -23,6 +23,8 @@ class ChaseLevDeque {
       : buffer_(new Ring(initial_capacity)) {}
 
   ~ChaseLevDeque() {
+    // Relaxed: destruction requires external quiescence (no owner, no
+    // thieves); there is nothing left to synchronize with.
     delete buffer_.load(std::memory_order_relaxed);
     for (Ring* r : retired_) delete r;
   }
@@ -66,6 +68,8 @@ class ChaseLevDeque {
         bottom_.store(b + 1, std::memory_order_relaxed);
         return false;
       }
+      // Relaxed: restoring bottom after winning the last-element race;
+      // the seq-cst CAS above already ordered this pop against thieves.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return true;
@@ -111,6 +115,9 @@ class ChaseLevDeque {
     if (t >= b) return 0;
     const std::int64_t n =
         std::min<std::int64_t>(static_cast<std::int64_t>(max_n), b - t);
+    // Acquire pairs with grow()'s release store: the ring we read from
+    // is at least as new as the bottom_ we observed. Seq-cst CAS totals
+    // the claim against owner pops' fences (protocol in the doc block).
     Ring* ring = buffer_.load(std::memory_order_acquire);
     for (std::int64_t i = 0; i < n; ++i) out[i] = ring->get(t + i);
     if (!top_.compare_exchange_strong(t, t + n, std::memory_order_seq_cst,
@@ -118,12 +125,16 @@ class ChaseLevDeque {
       return 0;
     }
     seq_cst_fence();
+    // Relaxed re-read: the fence above orders it after our CAS, so every
+    // owner pop whose fence preceded the CAS is reflected in b2.
     const std::int64_t b2 = bottom_.load(std::memory_order_relaxed);
     const std::int64_t kept = std::min(n, b2 - t);
     return kept > 0 ? static_cast<std::size_t>(kept) : 0;
   }
 
   bool empty() const {
+    // Acquire on both indices: an advisory snapshot (callers tolerate
+    // staleness) but never reads indices out of thin air.
     return top_.load(std::memory_order_acquire) >=
            bottom_.load(std::memory_order_acquire);
   }
@@ -135,10 +146,14 @@ class ChaseLevDeque {
     std::vector<std::atomic<T>> slots;
 
     T get(std::int64_t i) const {
+      // Relaxed slot access: slots carry no ordering of their own — the
+      // top_/bottom_ protocol (release publish, seq-cst claim) decides
+      // which slots are owned; atomicity only prevents torn reads.
       return slots[static_cast<std::size_t>(i) & (capacity - 1)].load(
           std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) {
+      // Relaxed: see get() — ordering comes from the index protocol.
       slots[static_cast<std::size_t>(i) & (capacity - 1)].store(
           v, std::memory_order_relaxed);
     }
@@ -147,6 +162,8 @@ class ChaseLevDeque {
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
     auto* bigger = new Ring(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // Release publishes the copied slots with the new ring pointer;
+    // pairs with the acquire loads of buffer_ on the thief paths.
     buffer_.store(bigger, std::memory_order_release);
     // Old ring may still be read by in-flight thieves; retire, free at dtor.
     retired_.push_back(old);

@@ -12,14 +12,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/cpu_relax.h"
 #include "util/thread_safety.h"
-
-#if defined(__x86_64__)
-// Spin-hint only (_mm_pause below), not a vector data path — nothing for
-// the sim/simd.h wrapper to express.
-// lint:allow(raw-simd)
-#include <immintrin.h>
-#endif
 
 namespace sbs::sched {
 
@@ -28,12 +22,6 @@ extern thread_local std::uint64_t tl_ops;
 
 inline void count_op(std::uint64_t n = 1) { tl_ops += n; }
 inline std::uint64_t ops_snapshot() { return tl_ops; }
-
-inline void cpu_relax() {
-#if defined(__x86_64__)
-  _mm_pause();  // lint:allow(raw-simd) — spin hint, no vector semantics
-#endif
-}
 
 #if defined(__SANITIZE_THREAD__)
 #define SBS_TSAN 1
@@ -56,6 +44,7 @@ inline void seq_cst_fence() {
 #if defined(__x86_64__) && !SBS_TSAN
   __asm__ __volatile__("lock; orl $0, (%%rsp)" ::: "memory", "cc");
 #else
+  // Portable StoreLoad barrier (see doc comment; TSan-visible).
   std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
 }
@@ -68,15 +57,20 @@ class SBS_CAPABILITY("spinlock") Spinlock {
  public:
   void lock() SBS_ACQUIRE() {
     count_op();
+    // Acquire on the winning exchange pairs with unlock()'s release
+    // store; the relaxed inner wait loop needs no ordering — only the
+    // exchange that takes the lock opens the critical section.
     while (flag_.exchange(true, std::memory_order_acquire)) {
-      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+      while (flag_.load(std::memory_order_relaxed)) util::cpu_relax();
     }
   }
   bool try_lock() SBS_TRY_ACQUIRE(true) {
     count_op();
+    // Same acquire-on-success pairing as lock().
     return !flag_.exchange(true, std::memory_order_acquire);
   }
   void unlock() SBS_RELEASE() {
+    // Release publishes the critical section to the next acquirer.
     flag_.store(false, std::memory_order_release);
   }
 

@@ -58,7 +58,9 @@ void SpaceBounded::start(const machine::Topology& topo, int num_threads) {
 void SpaceBounded::finish() {
   for (int id = 0; id < topo_->num_nodes(); ++id) {
     NodeState& node = *nodes_[static_cast<std::size_t>(id)];
-    SBS_CHECK_MSG(node.occupied.load() == 0,
+    // Relaxed: finish() runs after the pool quiesced; no concurrent
+    // charges exist and the check only needs the final value.
+    SBS_CHECK_MSG(node.occupied.load(std::memory_order_relaxed) == 0,
                   "SB: cache occupancy must drain to zero at finish");
     SBS_CHECK_MSG(node.local.drained(), "SB: local queue not drained");
     for (auto& b : node.buckets)
@@ -164,10 +166,18 @@ bool SpaceBounded::try_charge_path(int anchor_node, int ceiling_depth,
     NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     const std::uint64_t cap =
         capacity_[static_cast<std::size_t>(topo_->node(id).depth)];
+    // Relaxed seed for the CAS loop: the CAS below revalidates `cur`
+    // against the capacity on every retry, so a stale read only costs
+    // one extra iteration.
     std::uint64_t cur = node.occupied.load(std::memory_order_relaxed);
     bool ok = false;
     while (cur + bytes <= cap) {
       count_op();
+      // acq_rel: all charge/release RMWs on `occupied` form one
+      // modification order; acquire+release chains them so a core that
+      // wins admission after a release also observes the frees the
+      // releasing task published before it (occupancy never observed
+      // above its true bound).
       if (node.occupied.compare_exchange_weak(cur, cur + bytes,
                                               std::memory_order_acq_rel)) {
         ok = true;
@@ -176,6 +186,8 @@ bool SpaceBounded::try_charge_path(int anchor_node, int ceiling_depth,
     }
     if (!ok) {
       for (int i = 0; i < n_charged; ++i) {
+        // acq_rel: rollback participates in the same RMW chain as the
+        // charges (see the admission CAS above).
         nodes_[static_cast<std::size_t>(charged[i])]->occupied.fetch_sub(
             bytes, std::memory_order_acq_rel);
       }
@@ -198,6 +210,7 @@ void SpaceBounded::force_charge_path(int anchor_node, int ceiling_depth,
        id = topo_->node(id).parent) {
     NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     count_op();
+    // acq_rel: same RMW chain as try_charge_path, minus the bound check.
     node.occupied.fetch_add(bytes, std::memory_order_acq_rel);
     bump_max(node);
   }
@@ -208,6 +221,8 @@ void SpaceBounded::release_path(int anchor_node, int ceiling_depth,
   for (int id = anchor_node; topo_->node(id).depth > ceiling_depth;
        id = topo_->node(id).parent) {
     count_op();
+    // acq_rel: the release chains with later admission CASes so freed
+    // budget is visible to the next charge (see try_charge_path).
     [[maybe_unused]] const std::uint64_t prev =
         nodes_[static_cast<std::size_t>(id)]->occupied.fetch_sub(
             bytes, std::memory_order_acq_rel);
@@ -216,11 +231,14 @@ void SpaceBounded::release_path(int anchor_node, int ceiling_depth,
 }
 
 void SpaceBounded::bump_max(NodeState& node) {
+  // All relaxed: max_occupied is a statistics high-water mark read only
+  // after the run (or by tests); the CAS loop needs atomicity, not
+  // ordering, and must stay off the admission fast path's critical cost.
   const std::uint64_t cur = node.occupied.load(std::memory_order_relaxed);
   std::uint64_t max = node.max_occupied.load(std::memory_order_relaxed);
   while (cur > max &&
-         !node.max_occupied.compare_exchange_weak(max, cur,
-                                                  std::memory_order_relaxed)) {
+         !node.max_occupied.compare_exchange_weak(
+             max, cur, std::memory_order_relaxed)) {  // stats only, see above
   }
 }
 
@@ -247,6 +265,8 @@ void SpaceBounded::charge_strand(Job* job, int thread_id) {
     if (amount == 0) continue;
     NodeState& node = *nodes_[static_cast<std::size_t>(id)];
     count_op();
+    // acq_rel: strand charges join the same occupied RMW chain as task
+    // admission (try_charge_path) so the bound holds across both.
     node.occupied.fetch_add(amount, std::memory_order_acq_rel);
     bump_max(node);
     self.strand_charges.emplace_back(id, amount);
@@ -273,6 +293,8 @@ bool SpaceBounded::try_anchor(Job* job, int x_node, int b, int thread_id) {
   task->attr = static_cast<std::uint64_t>(ceiling_depth);
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
   ++self.anchors;
+  // Relaxed: per-depth anchor tally for stats_string()/tests; counted,
+  // never used to synchronize.
   anchors_at_depth_[static_cast<std::size_t>(b)].fetch_add(
       1, std::memory_order_relaxed);
   trace::emit(thread_id, trace::EventKind::kAnchor,
@@ -349,6 +371,7 @@ void SpaceBounded::done(Job* job, int thread_id, bool task_completed) {
   PerThread& self = *threads_[static_cast<std::size_t>(thread_id)];
   for (const auto& [node_id, amount] : self.strand_charges) {
     count_op();
+    // acq_rel: strand-charge release, same occupied RMW chain as above.
     [[maybe_unused]] const std::uint64_t prev =
         nodes_[static_cast<std::size_t>(node_id)]->occupied.fetch_sub(
             amount, std::memory_order_acq_rel);
@@ -369,7 +392,10 @@ void SpaceBounded::done(Job* job, int thread_id, bool task_completed) {
 }
 
 std::uint64_t SpaceBounded::occupied(int node_id) const {
-  return nodes_[static_cast<std::size_t>(node_id)]->occupied.load();
+  // Acquire: test/verify readers observe at least every charge chained
+  // before the RMW they read (tests assert the bounded property).
+  return nodes_[static_cast<std::size_t>(node_id)]->occupied.load(
+      std::memory_order_acquire);
 }
 
 std::uint64_t SpaceBounded::total_anchors() const {
@@ -379,12 +405,15 @@ std::uint64_t SpaceBounded::total_anchors() const {
 }
 
 std::uint64_t SpaceBounded::anchors_at_depth(int depth) const {
+  // Relaxed: stats counter, read after the run.
   return anchors_at_depth_[static_cast<std::size_t>(depth)].load(
       std::memory_order_relaxed);
 }
 
 std::uint64_t SpaceBounded::max_occupied(int node_id) const {
-  return nodes_[static_cast<std::size_t>(node_id)]->max_occupied.load();
+  // Relaxed: statistics high-water mark (see bump_max), read post-run.
+  return nodes_[static_cast<std::size_t>(node_id)]->max_occupied.load(
+      std::memory_order_relaxed);
 }
 
 std::string SpaceBounded::stats_string() const {
@@ -399,7 +428,9 @@ std::string SpaceBounded::stats_string() const {
   if (options_.distributed_top) out << " sibling_pops=" << sibling;
   out << " anchors_by_depth=[";
   for (std::size_t d = 0; d < anchors_at_depth_.size(); ++d) {
-    out << (d ? "," : "") << anchors_at_depth_[d].load();
+    // Relaxed: post-run stats read.
+    out << (d ? "," : "") << anchors_at_depth_[d].load(
+        std::memory_order_relaxed);
   }
   out << "]";
   return out.str();

@@ -110,18 +110,23 @@ class SpaceBounded : public runtime::Scheduler {
 
     bool maybe_empty() const {
       count_op();
+      // Relaxed: advisory probe to skip taking the lock; callers
+      // revalidate under the lock before acting on the answer.
       return size.load(std::memory_order_relaxed) == 0;
     }
     void push_back(runtime::Job* job) {
       SpinGuard guard(lock);
       count_op();
       jobs.push_back(job);
+      // Relaxed mirror write: `size` only feeds maybe_empty()'s
+      // advisory probe; the deque itself is published by the lock.
       size.store(jobs.size(), std::memory_order_relaxed);
     }
     void push_front(runtime::Job* job) {
       SpinGuard guard(lock);
       count_op();
       jobs.push_front(job);
+      // Relaxed mirror write (see push_back).
       size.store(jobs.size(), std::memory_order_relaxed);
     }
     runtime::Job* pop_back() {
@@ -130,6 +135,7 @@ class SpaceBounded : public runtime::Scheduler {
       if (jobs.empty()) return nullptr;
       runtime::Job* job = jobs.back();
       jobs.pop_back();
+      // Relaxed mirror write (see push_back).
       size.store(jobs.size(), std::memory_order_relaxed);
       return job;
     }
@@ -139,6 +145,7 @@ class SpaceBounded : public runtime::Scheduler {
       if (jobs.empty()) return nullptr;
       runtime::Job* job = jobs.front();
       jobs.pop_front();
+      // Relaxed mirror write (see push_back).
       size.store(jobs.size(), std::memory_order_relaxed);
       return job;
     }

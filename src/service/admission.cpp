@@ -65,9 +65,13 @@ bool AdmissionController::try_charge_path(int node, std::uint64_t bytes) {
     const std::uint64_t cap =
         budget_by_depth_[static_cast<std::size_t>(topo_.node(id).depth)];
     auto& reserved = reserved_[static_cast<std::size_t>(id)].reserved;
+    // Relaxed seed: the CAS revalidates against the cap every retry.
     std::uint64_t cur = reserved.load(std::memory_order_relaxed);
     bool ok = false;
     while (cur + bytes <= cap) {
+      // acq_rel: all reserve/release RMWs on a node form one chain, so
+      // a tenant admitted after a release also observes the freed budget
+      // (same protocol as sched/sb.cpp try_charge_path).
       if (reserved.compare_exchange_weak(cur, cur + bytes,
                                          std::memory_order_acq_rel)) {
         ok = true;
@@ -76,6 +80,7 @@ bool AdmissionController::try_charge_path(int node, std::uint64_t bytes) {
     }
     if (!ok) {
       for (int i = 0; i < n_charged; ++i) {
+        // acq_rel: rollback joins the same RMW chain as the CAS above.
         reserved_[static_cast<std::size_t>(charged[i])].reserved.fetch_sub(
             bytes, std::memory_order_acq_rel);
       }
@@ -89,6 +94,8 @@ bool AdmissionController::try_charge_path(int node, std::uint64_t bytes) {
 
 void AdmissionController::release_path(int node, std::uint64_t bytes) {
   for (int id = node; topo_.node(id).depth > 0; id = topo_.node(id).parent) {
+    // acq_rel: releases chain with later admission CASes so freed budget
+    // is visible to the next try_charge_path.
     [[maybe_unused]] const std::uint64_t prev =
         reserved_[static_cast<std::size_t>(id)].reserved.fetch_sub(
             bytes, std::memory_order_acq_rel);
@@ -102,6 +109,7 @@ AdmissionDecision AdmissionController::try_admit(std::uint64_t declared_bytes) {
   decision.depth = d;
   if (d == 0) {
     decision.kind = AdmissionDecision::Kind::kTooLarge;
+    // Relaxed: metrics counter, read by stats endpoints only.
     too_large_.fetch_add(1, std::memory_order_relaxed);
     return decision;
   }
@@ -117,11 +125,13 @@ AdmissionDecision AdmissionController::try_admit(std::uint64_t declared_bytes) {
     if (try_charge_path(id, declared_bytes)) {
       decision.kind = AdmissionDecision::Kind::kAdmitted;
       decision.node = id;
+      // Relaxed: metrics counter.
       admitted_.fetch_add(1, std::memory_order_relaxed);
       return decision;
     }
   }
   decision.kind = AdmissionDecision::Kind::kNoBudget;
+  // Relaxed: metrics counter.
   no_budget_.fetch_add(1, std::memory_order_relaxed);
   return decision;
 }
@@ -131,6 +141,8 @@ void AdmissionController::release(int node, std::uint64_t declared_bytes) {
 }
 
 std::uint64_t AdmissionController::reserved(int node) const {
+  // Relaxed: load-balancing hint (candidate sort) and stats; a stale
+  // value only perturbs placement, never the bound — the CAS enforces it.
   return reserved_[static_cast<std::size_t>(node)].reserved.load(
       std::memory_order_relaxed);
 }

@@ -26,6 +26,7 @@ void DegradeMux::finish() {
 
 void DegradeMux::add(runtime::Job* job, int thread_id) {
   if (is_degraded(job->task())) {
+    // Relaxed: stats counter surfaced in stats_string() only.
     degraded_strands_.fetch_add(1, std::memory_order_relaxed);
     fallback_->add(job, thread_id);
   } else {
@@ -52,6 +53,7 @@ std::string DegradeMux::name() const {
 
 std::string DegradeMux::stats_string() const {
   std::ostringstream out;
+  // Relaxed: stats snapshot; exactness not required while running.
   out << primary_->stats_string() << " degraded_strands="
       << degraded_strands_.load(std::memory_order_relaxed);
   const std::string fb = fallback_->stats_string();

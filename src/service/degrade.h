@@ -57,6 +57,7 @@ class DegradeMux final : public runtime::Scheduler {
   runtime::Scheduler& primary() { return *primary_; }
   runtime::Scheduler& fallback() { return *fallback_; }
   std::uint64_t degraded_strands() const {
+    // Relaxed: stats counter (tests read it after the run quiesced).
     return degraded_strands_.load(std::memory_order_relaxed);
   }
 

@@ -5,7 +5,7 @@
 #include <algorithm>
 
 #include "runtime/strand_ops.h"
-#include "sched/ops.h"
+#include "util/cpu_relax.h"
 #include "service/degrade.h"
 #include "util/assert.h"
 
@@ -27,7 +27,7 @@ constexpr auto kIdleSleep = std::chrono::microseconds(50);
 
 void idle_backoff(int streak) {
   if (streak < kSpinRounds) {
-    for (int i = 0; i < (1 << streak); ++i) sched::cpu_relax();
+    for (int i = 0; i < (1 << streak); ++i) util::cpu_relax();
   } else if (streak < kSpinRounds + kYieldRounds) {
     std::this_thread::yield();  // lint:allow(blocking-call) idle tier only
   } else {
@@ -81,6 +81,9 @@ struct JobHandle::Ticket {
 };
 
 JobState JobHandle::state() const {
+  // Acquire pairs with the release transitions in dispatch() and
+  // finish_terminal(): a client that observes kDone also observes the
+  // job's results and timing fields.
   return ticket_->state.load(std::memory_order_acquire);
 }
 
@@ -180,16 +183,21 @@ JobHandle Runtime::submit(runtime::Job* root, std::uint64_t declared_bytes,
   SBS_CHECK_MSG(root != nullptr, "submit needs a root job");
   SBS_CHECK_MSG(tenant >= 0 && tenant < options_.num_tenants,
                 "tenant id out of range");
+  // Acquire: a submitter that races shutdown() must see the stores the
+  // stopping thread made before raising stop_.
   SBS_CHECK_MSG(!shut_down_ && !stop_.load(std::memory_order_acquire),
                 "submit after shutdown");
 
   auto ticket = std::make_shared<JobHandle::Ticket>();
+  // Relaxed: id allocation needs uniqueness only, no ordering.
   ticket->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   ticket->tenant = tenant;
   ticket->declared_bytes = declared_bytes;
   ticket->root = root;
   ticket->submit_time = Clock::now();
   metrics_.on_submit(tenant);
+  // acq_rel: live_ RMWs form one chain; drain()'s acquire load of zero
+  // therefore happens-after every submission it counted (no lost jobs).
   live_.fetch_add(1, std::memory_order_acq_rel);
 
   const AdmissionPolicy policy = options_.admission.policy;
@@ -236,6 +244,8 @@ JobHandle Runtime::submit(runtime::Job* root, std::uint64_t declared_bytes,
                       std::chrono::duration<double>(
                           options_.admission.queue_timeout_s));
               parked_.push_back(ticket);
+              // Release mirror of the locked deque size; pairs with
+              // pump_parked()'s acquire probe that elides the lock.
               parked_count_.store(parked_.size(), std::memory_order_release);
               parked = true;
             }
@@ -258,6 +268,8 @@ void Runtime::enqueue_injection(
     const std::shared_ptr<JobHandle::Ticket>& ticket) {
   util::MutexLock lock(inject_mutex_);
   injected_.push_back(ticket);
+  // Release mirror of the locked deque size; pairs with the acquire
+  // probe in drain_injection() that elides the lock when empty.
   inject_count_.store(injected_.size(), std::memory_order_release);
 }
 
@@ -277,11 +289,15 @@ void Runtime::dispatch(int tid,
   ticket->dispatch_time = Clock::now();
   runtime::Job* root = ticket->root;
   ticket->root = nullptr;  // ownership passes to the engine
+  // Release: a client polling state() acquires the dispatch_time and
+  // wiring written above once it reads kRunning.
   ticket->state.store(JobState::kRunning, std::memory_order_release);
   sched_->add(root, tid);
 }
 
 bool Runtime::drain_injection(int tid) {
+  // Acquire probe of the release-mirrored size: lets idle workers skip
+  // the mutex; a stale zero is re-checked on the next loop iteration.
   if (inject_count_.load(std::memory_order_acquire) == 0) return false;
   bool any = false;
   for (;;) {
@@ -291,6 +307,7 @@ bool Runtime::drain_injection(int tid) {
       if (injected_.empty()) break;
       ticket = std::move(injected_.front());
       injected_.pop_front();
+      // Release mirror (see enqueue_injection).
       inject_count_.store(injected_.size(), std::memory_order_release);
     }
     dispatch(tid, ticket);
@@ -300,6 +317,8 @@ bool Runtime::drain_injection(int tid) {
 }
 
 void Runtime::pump_parked() {
+  // Acquire probe of the release-mirrored queue size; a stale zero is
+  // retried by the idle-tier heartbeat, never lost.
   if (parked_count_.load(std::memory_order_acquire) == 0) return;
   std::vector<std::shared_ptr<JobHandle::Ticket>> expired;
   std::vector<std::shared_ptr<JobHandle::Ticket>> admitted;
@@ -326,6 +345,7 @@ void Runtime::pump_parked() {
       admitted.push_back(std::move(head));
       parked_.pop_front();
     }
+    // Release mirror of the locked deque size (see submit()).
     parked_count_.store(parked_.size(), std::memory_order_release);
   }
   for (const auto& ticket : expired) {
@@ -364,7 +384,10 @@ void Runtime::finalize_completion(
                                     ticket->submit_time)
           .count();
   metrics_.on_complete(ticket->tenant, sojourn, queueing, sojourn - queueing);
+  // Release: publishes results/timing to JobHandle::state() acquirers.
   ticket->state.store(JobState::kDone, std::memory_order_release);
+  // acq_rel: same live_ chain as submit(); lets drain() conclude no
+  // jobs remain once it reads zero.
   live_.fetch_sub(1, std::memory_order_acq_rel);
   wait_cv_.notify_all();
   pump_parked();  // the release above may admit parked submissions
@@ -386,6 +409,8 @@ void Runtime::worker_loop(int tid) {
         idle_streak = 0;
         continue;
       }
+      // All acquire: the exit decision must observe everything that
+      // preceded stop_ being raised and the final completion/injection.
       if (stop_.load(std::memory_order_acquire) &&
           live_.load(std::memory_order_acquire) == 0 &&
           inject_count_.load(std::memory_order_acquire) == 0) {
@@ -435,6 +460,8 @@ JobState Runtime::wait(const JobHandle& handle) {
 }
 
 void Runtime::drain() {
+  // Acquire pairs with finish_terminal()'s acq_rel decrement: zero here
+  // means every counted job's completion is visible.
   while (live_.load(std::memory_order_acquire) > 0) {
     pump_parked();
     std::unique_lock<util::Mutex> lock(wait_mutex_);
@@ -448,6 +475,8 @@ void Runtime::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   drain();
+  // Release pairs with worker_loop()'s acquire: workers that see stop_
+  // also see the drained state that justified it.
   stop_.store(true, std::memory_order_release);
   for (std::thread& w : workers_)
     w.join();  // lint:allow(blocking-call) teardown, not submit path

@@ -159,18 +159,24 @@ class Runtime {
   void enqueue_injection(const std::shared_ptr<JobHandle::Ticket>& ticket);
 
   const RuntimeOptions options_;
-  machine::Topology topo_;
+  machine::Topology topo_ SBS_INIT_ONLY;
+  // lint:allow(guarded-by) internally synchronized (atomic reservations)
   AdmissionController admission_;
+  // lint:allow(guarded-by) internally synchronized (own mutex)
   ServiceMetrics metrics_;
-  std::unique_ptr<runtime::Scheduler> sched_;
-  verify::VerifyingScheduler* verifier_ = nullptr;  ///< borrowed from sched_
-  bool has_degrade_mux_ = false;
-  int num_threads_ = 0;
-  Clock::time_point epoch_;
+  std::unique_ptr<runtime::Scheduler> sched_ SBS_INIT_ONLY;  ///< pointee
+                                                             ///< self-syncing
+  verify::VerifyingScheduler* verifier_ SBS_INIT_ONLY =
+      nullptr;  ///< borrowed from sched_
+  bool has_degrade_mux_ SBS_INIT_ONLY = false;
+  int num_threads_ SBS_INIT_ONLY = 0;
+  Clock::time_point epoch_ SBS_INIT_ONLY;
 
-  std::vector<std::unique_ptr<runtime::JobArena>> arenas_;
-  std::vector<std::thread> workers_;
-  bool shut_down_ = false;  ///< shutdown() is sequential, not thread-safe
+  /// Vector shaped in the constructor; arena i is used only from worker i.
+  std::vector<std::unique_ptr<runtime::JobArena>> arenas_ SBS_INIT_ONLY;
+  std::vector<std::thread> workers_ SBS_CONFINED(control thread);
+  bool shut_down_ SBS_CONFINED(control thread) =
+      false;  ///< shutdown() is sequential, not thread-safe
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> live_{0};
   std::atomic<std::uint64_t> next_id_{1};
@@ -197,7 +203,7 @@ class Runtime {
   struct alignas(64) CompletionSlot {
     std::shared_ptr<JobHandle::Ticket> ticket;
   };
-  std::vector<CompletionSlot> completion_slots_;
+  std::vector<CompletionSlot> completion_slots_ SBS_CONFINED(slot owner);
 };
 
 }  // namespace sbs::service

@@ -31,7 +31,7 @@
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define SBS_SIMD_X86 1
-#include <immintrin.h>  // lint:allow(raw-simd)
+#include <immintrin.h>
 #else
 #define SBS_SIMD_X86 0
 #endif
@@ -55,14 +55,14 @@ inline int find_u64_scalar(const std::uint64_t* words, std::uint32_t count,
 /// are all set.
 inline int find_u64_sse2(const std::uint64_t* words, std::uint32_t count,
                          std::uint64_t key) {
-  const __m128i k =  // lint:allow(raw-simd)
-      _mm_set1_epi64x(static_cast<long long>(key));  // lint:allow(raw-simd)
+  const __m128i k =
+      _mm_set1_epi64x(static_cast<long long>(key));
   std::uint32_t i = 0;
   for (; i + 2 <= count; i += 2) {
-    const __m128i v = _mm_loadu_si128(  // lint:allow(raw-simd)
+    const __m128i v = _mm_loadu_si128(
         reinterpret_cast<const __m128i*>(words + i));
     const int m =
-        _mm_movemask_epi8(_mm_cmpeq_epi32(v, k));  // lint:allow(raw-simd)
+        _mm_movemask_epi8(_mm_cmpeq_epi32(v, k));
     if ((m & 0x00FF) == 0x00FF) return static_cast<int>(i);
     if ((m & 0xFF00) == 0xFF00) return static_cast<int>(i) + 1;
   }
@@ -75,14 +75,14 @@ inline int find_u64_sse2(const std::uint64_t* words, std::uint32_t count,
 /// header build without -mavx2.
 __attribute__((target("avx2"))) inline int find_u64_avx2(
     const std::uint64_t* words, std::uint32_t count, std::uint64_t key) {
-  const __m256i k =  // lint:allow(raw-simd)
-      _mm256_set1_epi64x(static_cast<long long>(key));  // lint:allow(raw-simd)
+  const __m256i k =
+      _mm256_set1_epi64x(static_cast<long long>(key));
   std::uint32_t i = 0;
   for (; i + 4 <= count; i += 4) {
-    const __m256i v = _mm256_loadu_si256(  // lint:allow(raw-simd)
+    const __m256i v = _mm256_loadu_si256(
         reinterpret_cast<const __m256i*>(words + i));
-    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(  // lint:allow(raw-simd)
-        _mm256_cmpeq_epi64(v, k)));  // lint:allow(raw-simd)
+    const int m = _mm256_movemask_pd(_mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(v, k)));
     if (m != 0) {
       return static_cast<int>(i) +
              std::countr_zero(static_cast<unsigned>(m));

@@ -102,12 +102,17 @@ std::uint64_t Recorder::total_dropped() const {
   return n;
 }
 
+// Release/acquire pair on the active-recorder pointer: a thread that
+// acquires a non-null Recorder* sees its fully constructed rings; the
+// null store on scope exit is release so late readers see final counts.
 Recorder* active() { return g_active.load(std::memory_order_acquire); }
 
 Scope::Scope(Recorder* recorder) {
+  // Release: publish the fully constructed recorder (see active()).
   g_active.store(recorder, std::memory_order_release);
 }
 
+// Release so late readers of the null see the final ring counts.
 Scope::~Scope() { g_active.store(nullptr, std::memory_order_release); }
 
 }  // namespace sbs::trace

@@ -1,0 +1,59 @@
+// Plain test-and-test-and-set spinlock for code *outside* the scheduler
+// layer (kernels' side tables, cold shared registries). Unlike
+// sched::Spinlock it does not bump the scheduler op counter: a kernel
+// taking a lock is application work, and counting it as scheduler
+// overhead would inflate the simulator's virtual-cycle attribution for
+// whichever scheduler happened to run that strand.
+//
+// Declared as a thread-safety capability like every lock in this repo
+// (util/thread_safety.h): guard fields with SBS_GUARDED_BY(lock) and
+// acquire through the RAII SpinGuard.
+#pragma once
+
+#include <atomic>
+
+#include "util/cpu_relax.h"
+#include "util/thread_safety.h"
+
+namespace sbs::util {
+
+class SBS_CAPABILITY("spinlock") Spinlock {
+ public:
+  void lock() SBS_ACQUIRE() {
+    // Acquire on the winning exchange pairs with the release store in
+    // unlock(): the critical section it opens sees everything the
+    // previous holder wrote. The inner wait loop spins relaxed — only
+    // the exchange that actually takes the lock needs ordering.
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+  bool try_lock() SBS_TRY_ACQUIRE(true) {
+    // Same acquire-on-success pairing as lock().
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() SBS_RELEASE() {
+    // Release publishes the critical section to the next acquirer.
+    flag_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard, visible to clang's thread-safety analysis as a scoped
+/// capability.
+class SBS_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(Spinlock& lock) SBS_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinGuard() SBS_RELEASE() { lock_.unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace sbs::util

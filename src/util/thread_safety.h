@@ -49,6 +49,20 @@
 #define SBS_NO_THREAD_SAFETY_ANALYSIS \
   SBS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Documentation-only annotations for fields whose safety protocol is not
+// a lock. Clang's analysis cannot check these (it has no notion of
+// "written before threads start" or "owned by one thread"), so they
+// expand to nothing — but tools/analyze's guarded-by rule accepts them
+// as coverage, and they force the author to name the protocol instead
+// of leaving the field silently unannotated.
+//
+//   SBS_INIT_ONLY      written during construction/configuration, before
+//                      any concurrent access; read-only afterwards.
+//   SBS_CONFINED(who)  accessed only by `who` (a thread, or "slot i's
+//                      worker"), never shared.
+#define SBS_INIT_ONLY
+#define SBS_CONFINED(who)
+
 namespace sbs::util {
 
 /// std::mutex with capability annotations (libstdc++'s own mutex carries

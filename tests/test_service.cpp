@@ -15,7 +15,7 @@
 
 #include "kernels/kernel.h"
 #include "machine/topology.h"
-#include "sched/ops.h"
+#include "util/cpu_relax.h"
 #include "service/admission.h"
 #include "service/arrivals.h"
 #include "service/runtime.h"
@@ -52,7 +52,7 @@ class GateJob final : public runtime::SBJob {
   GateJob(std::uint64_t bytes, std::atomic<bool>* open)
       : SBJob(bytes), open_(open) {}
   void execute(runtime::Strand&) override {
-    while (!open_->load(std::memory_order_acquire)) sched::cpu_relax();
+    while (!open_->load(std::memory_order_acquire)) util::cpu_relax();
   }
 
  private:

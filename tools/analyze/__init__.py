@@ -1,0 +1,23 @@
+"""Semantic static-analysis suite for the space-bounded scheduler repo.
+
+Where tools/lint.py is a per-line regex pass, this package builds real
+models of the code — a comment/string-aware token stream, an include
+graph over the declared module DAG, per-function lock-acquisition
+scopes, and per-field atomic-ordering profiles — and checks repo-wide
+structural properties that no single line can show:
+
+  layering     the module DAG (docs/ANALYSIS.md) has no upward or
+               undeclared include edges and no cycles;
+  lock-order   the union of nested lock acquisitions across all
+               functions is acyclic (no potential ABBA deadlock);
+  atomics      every explicit memory_order_* carries a justifying
+               comment, hot-path defaulted seq_cst is flagged, and
+               acquire/release pairings per atomic field are coherent;
+  guarded-by   mutable fields of lock-owning classes in the concurrent
+               modules carry SBS_GUARDED_BY annotations.
+
+Entry point: tools/analyze/run.py (exit 0 = clean, 1 = findings,
+2 = usage/self-test harness error). Waivers share tools/lint.py's
+`// lint:allow(<rule>)` syntax, and waivers that suppress nothing are
+themselves findings (stale-waiver) so dead waivers cannot accumulate.
+"""

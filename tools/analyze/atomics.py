@@ -1,0 +1,195 @@
+"""Atomics audit: ordering justifications, hot-path seq_cst, pairings.
+
+Three checks over every file under src/:
+
+atomic-order   Every *explicit* memory_order_* use must sit next to a
+               comment that justifies it. Consecutive uses form one
+               group (a protocol is commented once, not per line): a
+               group is justified when a comment appears on any of its
+               lines or within JUSTIFY_WINDOW lines above its first
+               use. The tokenizer strips comments before matching, so
+               a memory_order mentioned *in* a comment is not a use.
+
+atomic-seqcst  In the hot modules (src/sched/, src/sim/) an atomic op
+               with a *defaulted* memory order is flagged: implicit
+               seq_cst in a fork/steal or simulated-access path is
+               either an unintentional fence (fix: state the weaker
+               order and why) or intentional (fix: write seq_cst out
+               loud so the audit and the reader both see it).
+
+atomic-pairing Per atomic field (keyed by member name, repo-wide —
+               declarations live in headers, uses in .cpp files), the
+               explicit orders must form a coherent protocol:
+               an acquire-side load wants a release-side write of the
+               same field somewhere, and a release store wants some
+               acquire-side reader. A field whose uses are all relaxed
+               or all seq_cst is coherent by construction.
+"""
+
+import re
+
+from .findings import Finding
+
+HOT_MODULES = ("sched", "sim")
+JUSTIFY_WINDOW = 3
+
+ORDER_RE = re.compile(r"\bmemory_order(?:_|::\s*)"
+                      r"(relaxed|consume|acquire|release|acq_rel|seq_cst)\b")
+ATOMIC_OP_RE = re.compile(
+    r"(?:(?P<obj>[A-Za-z_][\w\]\[]*(?:\s*(?:\.|->)\s*[A-Za-z_][\w\]\[]*)*)"
+    r"\s*(?:\.|->)\s*)"
+    r"(?P<op>load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong|"
+    r"test_and_set|clear|wait|notify_one|notify_all)\s*\(")
+ATOMIC_FIELD_RE = re.compile(
+    r"\bstd::atomic(?:<|_flag|_bool|_int)[^;{}()]*?"
+    r"\b(?P<name>[A-Za-z_]\w*)\s*(?:\{[^;]*\})?\s*(?:;|,|=)")
+
+LOADISH = {"load", "wait"}
+STOREISH = {"store", "notify_one", "notify_all", "clear"}
+RMWISH = {"exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+          "fetch_xor", "compare_exchange_weak", "compare_exchange_strong",
+          "test_and_set"}
+
+ACQ_SIDE = {"acquire", "acq_rel", "seq_cst", "consume"}
+REL_SIDE = {"release", "acq_rel", "seq_cst"}
+
+
+def run(repo):
+    findings = []
+    fields = {}  # member name -> {"acq_load","rel_write","load","write",site}
+    declared = _declared_atomics(repo)
+    for rel in sorted(repo.files):
+        sf = repo.files[rel]
+        findings.extend(_order_comments(rel, sf))
+        findings.extend(_ops(rel, sf, fields, declared))
+    findings.extend(_pairings(fields))
+    return findings
+
+
+def _declared_atomics(repo):
+    """Member names declared std::atomic anywhere under src/ (declarations
+    live in headers, uses in .cpp files — so the set is repo-wide)."""
+    out = set()
+    for sf in repo.files.values():
+        for m in ATOMIC_FIELD_RE.finditer(sf.lexed.code):
+            out.add(m.group("name"))
+    return out
+
+
+def _order_comments(rel, sf):
+    """atomic-order: explicit orders need a nearby justifying comment."""
+    use_lines = sorted({
+        sf.lexed.code.count("\n", 0, m.start()) + 1
+        for m in ORDER_RE.finditer(sf.lexed.code)})
+    if not use_lines:
+        return []
+    comments = sf.lexed.comment_lines()
+    findings = []
+    group = [use_lines[0]]
+    for line in use_lines[1:]:
+        if line - group[-1] <= 2:  # same protocol block
+            group.append(line)
+        else:
+            findings.extend(_group_check(rel, group, comments))
+            group = [line]
+    findings.extend(_group_check(rel, group, comments))
+    return findings
+
+
+def _group_check(rel, group, comments):
+    lo, hi = group[0], group[-1]
+    for line in range(lo - JUSTIFY_WINDOW, hi + 1):
+        if line in comments:
+            return []
+    return [Finding(
+        rel, lo, "atomic-order",
+        "explicit memory_order use without a justifying comment within "
+        f"{JUSTIFY_WINDOW} lines — state the protocol (what it "
+        "synchronizes with), or waive")]
+
+
+def _ops(rel, sf, fields, declared):
+    """Defaulted-order detection + per-field order collection."""
+    code = sf.lexed.code
+    module = sf.module
+    hot = module in HOT_MODULES
+    findings = []
+    for m in ATOMIC_OP_RE.finditer(code):
+        args, _ = _balanced(code, m.end() - 1)
+        op = m.group("op")
+        field = _member_name(m.group("obj"))
+        orders = [o.group(1) for o in ORDER_RE.finditer(args)]
+        line = code.count("\n", 0, m.start()) + 1
+        if not orders:
+            if hot and _looks_atomic(field, op, declared):
+                findings.append(Finding(
+                    rel, line, "atomic-seqcst",
+                    f"`.{op}()` with defaulted seq_cst ordering in hot "
+                    f"module src/{module}/ — spell the order out "
+                    "(seq_cst if the fence is wanted, a weaker order "
+                    "with a comment if not)"))
+            continue
+        rec = fields.setdefault(field, {
+            "acq_load": False, "rel_write": False,
+            "load": None, "write": None})
+        if op in LOADISH:
+            rec["load"] = rec["load"] or (rel, line)
+            if orders[0] in ACQ_SIDE:
+                rec["acq_load"] = True
+        elif op in STOREISH or op in RMWISH:
+            rec["write"] = rec["write"] or (rel, line)
+            # CAS failure order is the trailing one; success order (and
+            # any RMW/store order) is the first.
+            if orders[0] in REL_SIDE:
+                rec["rel_write"] = True
+            if op in RMWISH and orders[0] in ACQ_SIDE:
+                rec["acq_load"] = True
+    return findings
+
+
+def _pairings(fields):
+    findings = []
+    for name, rec in sorted(fields.items()):
+        if rec["acq_load"] and rec["write"] and not rec["rel_write"]:
+            rel, line = rec["write"]
+            findings.append(Finding(
+                rel, line, "atomic-pairing",
+                f"atomic field `{name}` is acquire-loaded somewhere but "
+                "every write is relaxed — the acquire synchronizes with "
+                "nothing; make a write release/seq_cst or relax the load"))
+        if rec["rel_write"] and rec["load"] and not rec["acq_load"]:
+            rel, line = rec["load"]
+            findings.append(Finding(
+                rel, line, "atomic-pairing",
+                f"atomic field `{name}` is release-stored somewhere but "
+                "every load is relaxed — no reader can synchronize with "
+                "the release; acquire-load it (or relax the store)"))
+    return findings
+
+
+def _member_name(obj):
+    obj = re.split(r"\.|->", obj)[-1]
+    return obj.split("[")[0].strip()
+
+
+def _looks_atomic(field, op, declared):
+    """Defaulted-order calls only count when the receiver is plausibly an
+    atomic: the member is declared std::atomic somewhere in this repo's
+    headers, or the op name is atomic-only (fetch_*/CAS/test_and_set)."""
+    if op in RMWISH and op != "exchange":
+        return True
+    return field in declared
+
+
+def _balanced(code, open_paren):
+    """Return (argument text, index past close) for code[open_paren]=='('."""
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren + 1:i], i + 1
+    return code[open_paren + 1:], len(code)

@@ -1,0 +1,198 @@
+"""A small C++ lexer: comments, strings (incl. raw strings), tokens.
+
+Everything downstream (include extraction, lock-scope parsing, atomics
+audits) works on *code text* with comments and literal contents blanked
+out, so a `// TODO: take lock` comment or an error-message string can
+never fake a lock acquisition or an include. Positions are preserved:
+blanking replaces characters with spaces (newlines survive), so line
+numbers in findings always match the original file.
+
+Handled C++ lexical features the old regex lint could not see:
+  - `//` line comments, including ones extended by a `\\` line
+    continuation onto the next physical line;
+  - `/* ... */` block comments (C++ block comments do not nest — a
+    second `/*` inside one is plain text and must not extend it);
+  - string and char literals with escape sequences;
+  - raw string literals `R"delim( ... )delim"` with all encoding
+    prefixes (R, u8R, uR, UR, LR) — `)delim"` is the only terminator,
+    escapes and newlines inside are literal;
+  - line continuations gluing physical lines inside any literal.
+"""
+
+import re
+from collections import namedtuple
+
+# A comment span: text is the comment body (markers stripped),
+# line is the 1-based line of the comment's first character.
+Comment = namedtuple("Comment", "line text")
+
+Token = namedtuple("Token", "kind value line")
+
+_RAW_PREFIX_RE = re.compile(r'(?:u8|[uUL])?R$')
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\.?\d(?:[\w.']|[eEpP][+-])*")
+
+
+class Lexed:
+    """Result of lexing one file.
+
+    code      the source with comments and literal *contents* blanked
+              (string literals become `""`, chars `''`), same length
+              and line structure as the input;
+    comments  every comment, with its starting line;
+    lines     code split into lines (convenience for line-based rules).
+    """
+
+    def __init__(self, code, comments):
+        self.code = code
+        self.comments = comments
+        self.lines = code.split("\n")
+
+    def comment_lines(self):
+        """Set of 1-based line numbers that carry (part of) a comment."""
+        out = set()
+        for c in self.comments:
+            for i in range(c.text.count("\n") + 1):
+                out.add(c.line + i)
+        return out
+
+
+def lex(text):
+    """Blank comments and literal contents out of `text`; keep structure."""
+    out = list(text)
+    comments = []
+    i, n = 0, len(text)
+    line = 1
+
+    def blank(start, end, keep=()):
+        for j in range(start, end):
+            if text[j] == "\n" or j in keep:
+                continue
+            out[j] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                start, start_line = i, line
+                i += 2
+                # A trailing backslash continues the comment onto the
+                # next physical line (phase-2 splicing happens before
+                # comment recognition in a real compiler).
+                while i < n:
+                    if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                        line += 1
+                        i += 2
+                        continue
+                    if text[i] == "\n":
+                        break
+                    i += 1
+                comments.append(Comment(start_line, text[start + 2:i]))
+                blank(start, i)
+                continue
+            if nxt == "*":
+                start, start_line = i, line
+                i += 2
+                while i < n and not (text[i] == "*" and i + 1 < n
+                                     and text[i + 1] == "/"):
+                    if text[i] == "\n":
+                        line += 1
+                    i += 1
+                end = min(i + 2, n)
+                comments.append(Comment(start_line, text[start + 2:i]))
+                blank(start, end)
+                i = end
+                continue
+        if c == '"':
+            # Raw string? Look back at the contiguous identifier ending
+            # here: it must end in R with an optional encoding prefix.
+            j = i
+            while j > 0 and (text[j - 1].isalnum() or text[j - 1] == "_"):
+                j -= 1
+            if _RAW_PREFIX_RE.search(text[j:i]):
+                d_end = i + 1
+                while d_end < n and text[d_end] != "(":
+                    d_end += 1
+                delim = ")" + text[i + 1:d_end] + '"'
+                close = text.find(delim, d_end)
+                close = (close + len(delim)) if close != -1 else n
+                line += text.count("\n", i, close)
+                blank(i + 1, close - 1)
+                i = close
+                continue
+            end, line = _skip_quoted(text, i, '"', line)
+            blank(i + 1, end - 1)
+            i = end
+            continue
+        if c == "'":
+            # Only a real char literal: 1'000'000 digit separators must
+            # not open a "literal" that swallows the rest of the line.
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() or prev == "_":
+                i += 1
+                continue
+            end, line = _skip_quoted(text, i, "'", line)
+            blank(i + 1, end - 1)
+            i = end
+            continue
+        i += 1
+    return Lexed("".join(out), comments)
+
+
+def _skip_quoted(text, i, quote, line):
+    """Return (index past closing quote, updated line)."""
+    n = len(text)
+    i += 1
+    while i < n:
+        c = text[i]
+        if c == "\\" and i + 1 < n:
+            if text[i + 1] == "\n":
+                line += 1
+            i += 2
+            continue
+        if c == "\n":  # unterminated on this line: bail at the newline
+            return i, line
+        if c == quote:
+            return i + 1, line
+        i += 1
+    return n, line
+
+
+def tokens(code):
+    """Tokenize blanked code into identifier/number/punct tokens."""
+    out = []
+    i, n = 0, len(code)
+    line = 1
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c.isspace():
+            i += 1
+            continue
+        if c.isalpha() or c == "_":
+            m = _IDENT_RE.match(code, i)
+            out.append(Token("ident", m.group(), line))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and code[i + 1].isdigit()):
+            m = _NUMBER_RE.match(code, i)
+            out.append(Token("number", m.group(), line))
+            i = m.end()
+            continue
+        # Multi-char operators the parsers care about: `::` for
+        # qualified names; everything else single-char is fine.
+        if c == ":" and i + 1 < n and code[i + 1] == ":":
+            out.append(Token("punct", "::", line))
+            i += 2
+            continue
+        out.append(Token("punct", c, line))
+        i += 1
+    return out

@@ -1,0 +1,100 @@
+"""Findings, waivers, and stale-waiver accounting.
+
+Waivers share tools/lint.py's syntax: `// lint:allow(<rule>[, <rule>])`
+on the offending line or the line directly above it. A waiver for a
+rule this tool owns that suppresses nothing is itself a finding
+(stale-waiver), so dead waivers cannot accumulate; waivers for rules
+owned by other tools (tools/lint.py's regex rules) are ignored here and
+vice versa.
+"""
+
+import json
+import re
+from collections import namedtuple
+
+Finding = namedtuple("Finding", "path line rule message")
+
+WAIVER_RE = re.compile(r"lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Rules owned by tools/analyze/ (stale-waiver accounting is per-owner).
+ANALYZE_RULES = frozenset({
+    "layering",
+    "lock-order",
+    "atomic-order",
+    "atomic-seqcst",
+    "atomic-pairing",
+    "guarded-by",
+})
+
+
+class WaiverSet:
+    """Waivers of one file, with consumption tracking."""
+
+    def __init__(self, raw_lines):
+        # line (1-based) -> list of rule names waived there
+        self.at = {}
+        self.consumed = set()  # (line, rule)
+        for idx, text in enumerate(raw_lines):
+            m = WAIVER_RE.search(text)
+            if m:
+                self.at[idx + 1] = [r.strip() for r in m.group(1).split(",")]
+
+    def waived(self, line, rule):
+        """True when `line` or the line above carries a waiver for `rule`;
+        marks the waiver consumed for stale-waiver accounting."""
+        for j in (line, line - 1):
+            if rule in self.at.get(j, ()):
+                self.consumed.add((j, rule))
+                return True
+        return False
+
+    def stale(self, owned_rules=ANALYZE_RULES):
+        """(line, rule) waivers for rules we own that nothing consumed."""
+        out = []
+        for line, rules in sorted(self.at.items()):
+            for rule in rules:
+                if rule in owned_rules and (line, rule) not in self.consumed:
+                    out.append((line, rule))
+        return out
+
+
+def apply_waivers(findings, waiver_sets):
+    """Drop waived findings; waiver_sets maps path -> WaiverSet."""
+    kept = []
+    for f in findings:
+        ws = waiver_sets.get(f.path)
+        if ws and ws.waived(f.line, f.rule):
+            continue
+        kept.append(f)
+    return kept
+
+
+def stale_waiver_findings(waiver_sets, owned_rules=ANALYZE_RULES):
+    out = []
+    for path in sorted(waiver_sets):
+        for line, rule in waiver_sets[path].stale(owned_rules):
+            out.append(Finding(
+                path, line, "stale-waiver",
+                f"waiver `lint:allow({rule})` suppresses nothing — remove "
+                "it (or reword the comment if it only *mentions* the "
+                "syntax)"))
+    return out
+
+
+def print_findings(findings, scanned, as_json, label="analyze"):
+    """Emit findings in the shared `path:line: [rule] message` format (the
+    GitHub problem matcher in .github/problem-matcher.json keys on it),
+    or as a JSON document with --json."""
+    if as_json:
+        print(json.dumps({
+            "tool": label,
+            "files_scanned": scanned,
+            "findings": [f._asdict() for f in findings],
+        }, indent=2))
+        return
+    for f in sorted(findings):
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"{label}: {len(findings)} finding(s) in {scanned} files")
+    else:
+        print(f"{label}: OK ({scanned} files)")

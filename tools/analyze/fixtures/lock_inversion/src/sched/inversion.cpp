@@ -1,0 +1,41 @@
+// Seeded lock-order mutation: transfer_ab() takes a_.lock then b_.lock,
+// refund_ba() takes b_.lock then a_.lock. The repo-wide lock-order graph
+// gets the cycle a_lock -> b_lock -> a_lock, which the lock-order
+// analyzer must flag as a potential ABBA deadlock even though neither
+// function alone deadlocks and a test run may never interleave them.
+
+namespace fixture {
+
+struct Spinlock {
+  void lock() {}
+  void unlock() {}
+};
+
+struct SpinGuard {
+  explicit SpinGuard(Spinlock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinGuard() { lock_.unlock(); }
+  Spinlock& lock_;
+};
+
+struct Account {
+  Spinlock a_lock;
+  Spinlock b_lock;
+  long a = 0;
+  long b = 0;
+
+  void transfer_ab(long amount) {
+    SpinGuard ga(a_lock);
+    SpinGuard gb(b_lock);
+    a -= amount;
+    b += amount;
+  }
+
+  void refund_ba(long amount) {
+    SpinGuard gb(b_lock);
+    SpinGuard ga(a_lock);
+    b -= amount;
+    a += amount;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Seeded guarded-by mutation: a lock-owning queue whose `jobs` container
+// is annotated but whose `generation` counter had its SBS_GUARDED_BY
+// stripped. The coverage analyzer must flag the bare mutable field.
+#pragma once
+
+#define SBS_GUARDED_BY(x)
+
+namespace fixture {
+
+struct Spinlock {
+  void lock() {}
+  void unlock() {}
+};
+
+struct Queue {
+  Spinlock lock;
+  int jobs[8] SBS_GUARDED_BY(lock);
+  long generation = 0;  // mutation: annotation stripped
+};
+
+}  // namespace fixture

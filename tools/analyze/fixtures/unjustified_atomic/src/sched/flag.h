@@ -1,0 +1,21 @@
+// Seeded atomic-order mutation: an explicit release store with no
+// justifying comment anywhere near it. The atomics audit must demand a
+// stated protocol (what the release publishes, which acquire observes
+// it) or a waiver.
+#pragma once
+
+#include <atomic>
+
+namespace fixture {
+
+struct Flag {
+  std::atomic<bool> ready{false};
+
+  void publish() {
+
+
+    ready.store(true, std::memory_order_release);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded layering mutation: the runtime layer reaching up into sched.
+// The declared DAG (tools/analyze/layering.py) has sched above runtime,
+// so this include must be flagged as an upward edge.
+#pragma once
+
+#include "sched/queue.h"
+#include "util/base.h"
+
+namespace fixture {
+struct Pool {
+  sched::Queue queue;
+};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/base.h"
+
+namespace fixture::sched {
+struct Queue {
+  int depth = 0;
+};
+}  // namespace fixture::sched

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::util {
+using Id = int;
+}  // namespace fixture::util

@@ -1,0 +1,207 @@
+"""Lock-order: nested guard scopes -> repo-wide order graph -> cycles.
+
+Per file, the token stream is scanned for RAII guard acquisitions —
+sched::SpinGuard, util::MutexLock, std::lock_guard, std::unique_lock,
+std::scoped_lock — with the brace depth tracked so a guard is "held"
+until its enclosing scope closes. Every acquisition made while another
+guard is live contributes a directed edge held-lock -> new-lock to the
+repo-wide lock-order graph; a cycle in that graph is a potential ABBA
+deadlock (two threads taking the same pair of locks in opposite
+orders), which no single function — and no dynamic tool that never
+executes both paths in one run — can show.
+
+Lock identity is the trailing member name of the guarded expression
+(`node.lock` and `parent->lock` are both instances of `lock`): the
+graph deliberately merges all instances of a member, because distinct
+objects of one class are exactly what two threads grab in opposite
+orders. Same-*expression* re-acquisition inside one scope is flagged
+separately (immediate self-deadlock on these non-recursive locks).
+
+Waiving: a cycle is reported at each constituent edge's acquisition
+site; `// lint:allow(lock-order)` on every edge of the cycle (e.g. a
+tree walk that locks parent->child with a structural guarantee no
+other order exists) suppresses it.
+"""
+
+from collections import namedtuple
+
+from . import cxx
+from .findings import Finding
+
+# Recognized guard spellings: final type identifier -> needs template args.
+GUARD_TYPES = {
+    "SpinGuard": False,
+    "MutexLock": False,
+    "lock_guard": True,
+    "unique_lock": True,
+    "scoped_lock": True,
+}
+
+Acquisition = namedtuple("Acquisition", "key expr line depth")
+Edge = namedtuple("Edge", "src dst rel line held_expr")
+
+
+def run(repo):
+    findings = []
+    edges = []
+    for rel in sorted(repo.files):
+        f_edges, f_findings = _scan_file(repo, rel)
+        edges.extend(f_edges)
+        findings.extend(f_findings)
+    findings.extend(_cycle_findings(repo, edges))
+    return findings
+
+
+def _scan_file(repo, rel):
+    toks = cxx.tokens(repo.files[rel].lexed.code)
+    edges = []
+    findings = []
+    held = []  # stack of live Acquisitions in source order
+    depth = 0
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.kind == "punct":
+            if t.value == "{":
+                depth += 1
+            elif t.value == "}":
+                depth -= 1
+                while held and held[-1].depth > depth:
+                    held.pop()
+            i += 1
+            continue
+        if t.kind == "ident" and t.value in GUARD_TYPES:
+            locks, nxt = _parse_guard(toks, i)
+            if locks is None:
+                i += 1
+                continue
+            for expr, line in locks:
+                key = _lock_key(expr)
+                for h in held:
+                    if h.expr == expr:
+                        findings.append(Finding(
+                            rel, line, "lock-order",
+                            f"re-acquisition of `{expr}` while already "
+                            f"held (line {h.line}) — self-deadlock on a "
+                            "non-recursive lock"))
+                    elif h.key != key:
+                        edges.append(Edge(h.key, key, rel, line, h.expr))
+                held.append(Acquisition(key, expr, line, depth))
+            i = nxt
+            continue
+        i += 1
+    return edges, findings
+
+
+def _parse_guard(toks, i):
+    """At toks[i] == a guard type name: return ([(lock_expr, line)], next_i)
+    or (None, i) when this is not an acquisition (e.g. the guard class's
+    own definition, a using-declaration, a function parameter)."""
+    j = i + 1
+    if GUARD_TYPES[toks[i].value]:  # std:: guards may carry <...>
+        if j < len(toks) and toks[j] == ("punct", "<", toks[j].line):
+            depth = 0
+            while j < len(toks):
+                if toks[j].value == "<":
+                    depth += 1
+                elif toks[j].value == ">":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+    # Variable name, then a parenthesized lock expression.
+    if j >= len(toks) or toks[j].kind != "ident":
+        return None, i
+    j += 1
+    if j >= len(toks) or toks[j].value != "(":
+        return None, i
+    line = toks[j].line
+    depth = 0
+    args = [[]]
+    while j < len(toks):
+        v = toks[j].value
+        if v == "(":
+            depth += 1
+            if depth > 1:
+                args[-1].append(toks[j])
+        elif v == ")":
+            depth -= 1
+            if depth == 0:
+                j += 1
+                break
+            args[-1].append(toks[j])
+        elif v == "," and depth == 1:
+            args.append([])
+        else:
+            args[-1].append(toks[j])
+        j += 1
+    locks = []
+    for arg in args:
+        expr = "".join(t.value for t in arg)
+        if expr:
+            locks.append((expr, line))
+    return (locks or None), j
+
+
+def _lock_key(expr):
+    """Trailing member name: `node.lock` / `parent->lock` / `lock` -> lock."""
+    for sep in (".", "->", "::"):
+        if sep in expr:
+            expr = expr.rsplit(sep, 1)[1]
+    return expr.strip("&*")
+
+
+def _cycle_findings(repo, edges):
+    graph = {}
+    sites = {}  # (src, dst) -> [(rel, line)]
+    for e in edges:
+        graph.setdefault(e.src, set()).add(e.dst)
+        sites.setdefault((e.src, e.dst), []).append((e.rel, e.line))
+
+    findings = []
+    seen = set()
+    state = {}
+    stack = []
+
+    def visit(node):
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt) == 1:
+                cyc = stack[stack.index(nxt):]
+                lo = cyc.index(min(cyc))
+                cyc = tuple(cyc[lo:] + cyc[:lo])
+                if cyc not in seen:
+                    seen.add(cyc)
+                    _report(cyc)
+            elif nxt not in state:
+                visit(nxt)
+        stack.pop()
+        state[node] = 2
+
+    def _report(cyc):
+        order = " -> ".join(cyc + (cyc[0],))
+        pairs = list(zip(cyc, cyc[1:] + (cyc[0],)))
+        # Waived only when every edge of the cycle is waived at (one of)
+        # its acquisition sites.
+        edge_findings = []
+        all_waived = True
+        for src, dst in pairs:
+            rel0, line0 = sites[(src, dst)][0]
+            waived = any(
+                repo.waivers[rel].waived(line, "lock-order")
+                for rel, line in sites[(src, dst)])
+            all_waived = all_waived and waived
+            edge_findings.append(Finding(
+                rel0, line0, "lock-order",
+                f"lock-order cycle {order}: `{dst}` acquired while "
+                f"`{src}` is held (potential ABBA deadlock; "
+                f"{len(sites[(src, dst)])} site(s) for this edge)"))
+        if not all_waived:
+            findings.extend(edge_findings)
+
+    for node in sorted(graph):
+        if node not in state:
+            visit(node)
+    return findings

@@ -1,0 +1,79 @@
+"""Repo model: lexed files, waivers, and the include graph.
+
+Loads every C++ file under src/ (the layered library — tests, benches,
+examples and tools are top-level consumers outside the module DAG),
+lexes it once (tools/analyze/cxx.py), and extracts `#include "..."`
+edges from the *blanked* text so commented-out includes and includes
+quoted inside string literals do not enter the graph.
+"""
+
+import os
+import re
+from collections import namedtuple
+
+from . import cxx
+from .findings import WaiverSet
+
+CXX_EXTENSIONS = (".h", ".cpp", ".cc", ".hpp")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+SourceFile = namedtuple("SourceFile", "rel module lexed raw_lines includes")
+Include = namedtuple("Include", "target line")
+
+
+def module_of(rel):
+    """src/sched/sb.h -> sched; None outside src/."""
+    parts = rel.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+class Repo:
+    def __init__(self, root, scan_dirs=("src",)):
+        self.root = root
+        self.files = {}  # rel -> SourceFile
+        self.waivers = {}  # rel -> WaiverSet
+        for scan_dir in scan_dirs:
+            top = os.path.join(root, scan_dir)
+            if not os.path.isdir(top):
+                continue
+            for dirpath, _, filenames in os.walk(top):
+                for name in sorted(filenames):
+                    if not name.endswith(CXX_EXTENSIONS):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    rel = os.path.relpath(path, root).replace(os.sep, "/")
+                    self._load(path, rel)
+
+    def _load(self, path, rel):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        lexed = cxx.lex(text)
+        raw_lines = text.split("\n")
+        includes = []
+        # Include paths are themselves string literals, so they are
+        # blanked in the lexed text — match against the raw text, then
+        # accept only matches whose `#include` directive survived
+        # blanking (a commented-out include is blanked away entirely).
+        for m in INCLUDE_RE.finditer(text):
+            if "#" not in lexed.code[m.start():m.end()]:
+                continue
+            line = text.count("\n", 0, m.start()) + 1
+            includes.append(Include(m.group(1), line))
+        self.files[rel] = SourceFile(rel, module_of(rel), lexed, raw_lines,
+                                     includes)
+        self.waivers[rel] = WaiverSet(raw_lines)
+
+    def include_edges(self):
+        """(from_rel, Include, to_rel) for includes that resolve to a repo
+        file; include paths are rooted at src/ (see CMakeLists.txt
+        include_directories)."""
+        out = []
+        for rel, sf in sorted(self.files.items()):
+            for inc in sf.includes:
+                target = "src/" + inc.target
+                if target in self.files:
+                    out.append((rel, inc, target))
+        return out

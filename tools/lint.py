@@ -47,12 +47,20 @@ Rules:
               only with a reason the wrapper cannot express.
 
 Waivers: append `// lint:allow(<rule>)` on the offending line or the line
-directly above it.
+directly above it. A waiver for a rule this tool owns that suppresses
+nothing is itself a finding (stale-waiver) so dead waivers cannot
+accumulate; waivers for rules owned by tools/analyze/ (layering,
+atomic-order, guarded-by, ...) are left to that tool and vice versa.
 
-Usage: tools/lint.py [--root DIR]   (exit 0 = clean, 1 = findings)
+The full rule catalogue (this tool's regex rules and tools/analyze's
+semantic rules) lives in docs/ANALYSIS.md.
+
+Usage: tools/lint.py [--root DIR] [--json]
+       (exit 0 = clean, 1 = findings)
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -86,6 +94,14 @@ WALLCLOCK_SEED_RE = re.compile(
 SBS_ASSERT_RE = re.compile(r"\bSBS_ASSERT\s*\(")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
+# Rules this tool owns. Stale-waiver accounting is per-owner: a waiver
+# naming one of these that suppressed nothing is flagged here, while
+# waivers for tools/analyze's semantic rules are that tool's business.
+LINT_RULES = frozenset({
+    "raw-new", "std-mutex", "std-deque", "assert-se", "blocking-call",
+    "wallclock-seed", "sim-unordered-map", "raw-simd",
+})
+
 # Side effects inside an SBS_ASSERT argument. `==`, `!=`, `<=`, `>=` must
 # not count as assignment.
 MUTATION_RES = (
@@ -98,15 +114,34 @@ MUTATION_RES = (
 )
 
 
-def waived(lines, idx, rule):
-    """True when line idx (0-based) or the line above carries a waiver."""
+def waived(lines, idx, rule, consumed=None):
+    """True when line idx (0-based) or the line above carries a waiver.
+    Consumed waivers are recorded (as 0-based line, rule) for the
+    stale-waiver pass."""
     for j in (idx, idx - 1):
         if j < 0:
             continue
         m = WAIVER_RE.search(lines[j])
         if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            if consumed is not None:
+                consumed.add((j, rule))
             return True
     return False
+
+
+def stale_waivers(rel, raw_lines, consumed, findings):
+    """Flag waivers for rules we own that suppressed nothing."""
+    for idx, text in enumerate(raw_lines):
+        m = WAIVER_RE.search(text)
+        if not m:
+            continue
+        for rule in (r.strip() for r in m.group(1).split(",")):
+            if rule in LINT_RULES and (idx, rule) not in consumed:
+                findings.append(
+                    (rel, idx + 1, "stale-waiver",
+                     f"waiver `lint:allow({rule})` suppresses nothing — "
+                     "remove it (or reword the comment if it only "
+                     "*mentions* the syntax)"))
 
 
 def strip_strings_and_comments(line):
@@ -153,6 +188,7 @@ def lint_file(path, rel, findings):
     with open(path, encoding="utf-8", errors="replace") as f:
         raw_lines = f.read().splitlines()
     code_lines = [strip_strings_and_comments(l) for l in raw_lines]
+    consumed = set()  # (0-based line, rule) waivers that earned their keep
     in_sched = rel.startswith("src/sched/")
     in_service = rel.startswith("src/service/")
     in_sim = rel.startswith("src/sim/")
@@ -163,7 +199,7 @@ def lint_file(path, rel, findings):
 
         if not new_exempt:
             m = RAW_NEW_RE.search(code)
-            if m and not waived(raw_lines, idx, "raw-new"):
+            if m and not waived(raw_lines, idx, "raw-new", consumed):
                 findings.append(
                     (rel, lineno, "raw-new",
                      f"raw `new {m.group(1)}` outside src/runtime/ bypasses "
@@ -171,20 +207,20 @@ def lint_file(path, rel, findings):
 
         if in_sched:
             if STD_MUTEX_RE.search(code) and not waived(raw_lines, idx,
-                                                        "std-mutex"):
+                                                        "std-mutex", consumed):
                 findings.append(
                     (rel, lineno, "std-mutex",
                      "std::mutex family in a scheduler hot path — use "
                      "sched::Spinlock or move it off the hot path"))
             if STD_DEQUE_RE.search(code) and not waived(raw_lines, idx,
-                                                        "std-deque"):
+                                                        "std-deque", consumed):
                 findings.append(
                     (rel, lineno, "std-deque",
                      "std::deque in src/sched/ needs an explicit "
                      "`// lint:allow(std-deque)` waiver"))
 
         if rel != RAW_SIMD_HOME and RAW_SIMD_RE.search(code) and not waived(
-                raw_lines, idx, "raw-simd"):
+                raw_lines, idx, "raw-simd", consumed):
             findings.append(
                 (rel, lineno, "raw-simd",
                  "raw x86 intrinsic outside src/sim/simd.h — add the "
@@ -192,14 +228,14 @@ def lint_file(path, rel, findings):
                  "instead"))
 
         if in_sim and SIM_UNORDERED_MAP_RE.search(code) and not waived(
-                raw_lines, idx, "sim-unordered-map"):
+                raw_lines, idx, "sim-unordered-map", consumed):
             findings.append(
                 (rel, lineno, "sim-unordered-map",
                  "std::unordered_map in src/sim/ — use sim::FlatMap on any "
                  "per-access path; waive only for cold setup-time maps"))
 
         if in_service and BLOCKING_CALL_RE.search(code) and not waived(
-                raw_lines, idx, "blocking-call"):
+                raw_lines, idx, "blocking-call", consumed):
             findings.append(
                 (rel, lineno, "blocking-call",
                  "blocking primitive in src/service/ — the submit path is "
@@ -207,7 +243,7 @@ def lint_file(path, rel, findings):
                  "this is an idle/waiter/teardown path"))
 
         if WALLCLOCK_SEED_RE.search(code) and not waived(
-                raw_lines, idx, "wallclock-seed"):
+                raw_lines, idx, "wallclock-seed", consumed):
             findings.append(
                 (rel, lineno, "wallclock-seed",
                  "wall-clock / random_device seeding breaks the explicit-"
@@ -220,17 +256,21 @@ def lint_file(path, rel, findings):
             arg = extract_macro_arg(remainder,
                                     m.end() - 1 + offset)
             if any(r.search(arg) for r in MUTATION_RES) and not waived(
-                    raw_lines, idx, "assert-se"):
+                    raw_lines, idx, "assert-se", consumed):
                 findings.append(
                     (rel, lineno, "assert-se",
                      "SBS_ASSERT argument has side effects; it compiles "
                      "out under NDEBUG"))
+
+    stale_waivers(rel, raw_lines, consumed, findings)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON document")
     args = parser.parse_args()
 
     findings = []
@@ -248,6 +288,18 @@ def main():
                 lint_file(path, rel, findings)
                 scanned += 1
 
+    if args.json:
+        print(json.dumps({
+            "tool": "lint",
+            "files_scanned": scanned,
+            "findings": [
+                {"path": rel, "line": lineno, "rule": rule,
+                 "message": message}
+                for rel, lineno, rule, message in sorted(findings)],
+        }, indent=2))
+        return 1 if findings else 0
+    # `path:line: [rule] message` — the GitHub problem matcher in
+    # .github/problem-matcher.json keys on this shape.
     for rel, lineno, rule, message in sorted(findings):
         print(f"{rel}:{lineno}: [{rule}] {message}")
     if findings:
